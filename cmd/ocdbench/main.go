@@ -1,0 +1,260 @@
+// Command ocdbench regenerates the paper's tables and figures. Each -fig
+// selects one experiment; -scale trades fidelity for runtime (full mirrors
+// the paper's parameters, small is suitable for a laptop minute).
+//
+//	ocdbench -fig 2            # Figure 2: moves/bandwidth vs graph size (random)
+//	ocdbench -fig 3            # Figure 3: same on transit-stub topologies
+//	ocdbench -fig 4            # Figure 4: receiver density sweep
+//	ocdbench -fig 5            # Figure 5: number-of-files sweep
+//	ocdbench -fig 6            # Figure 6: multiple senders
+//	ocdbench -fig 1            # Figure 1: certified time/bandwidth tension
+//	ocdbench -fig 7            # Figure 7: Theorem 5 reduction validation
+//	ocdbench -thm4             # Theorem 4: unbounded competitive ratio
+//	ocdbench -oracle           # §4.2 additive-diameter oracle
+//	ocdbench -ip               # §3.4 ILP vs branch-and-bound cross-check
+//	ocdbench -tradeoff         # §3.4 hybrid objective curve on Figure 1
+//	ocdbench -dynamic          # §6 changing network conditions / churn
+//	ocdbench -coding           # §6 encoding under loss
+//	ocdbench -underlay         # §6 realistic topologies (shared links)
+//	ocdbench -delay            # §5.1 knowledge-delay ablation
+//	ocdbench -protocol         # §4.1 message-passing vs idealized Local
+//	ocdbench -bounds           # heuristics and bounds vs certified optima
+//	ocdbench -arch             # §2 tree/forest architectures vs meshes
+//	ocdbench -all              # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ocd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ocdbench:", err)
+		os.Exit(1)
+	}
+}
+
+type scaleParams struct {
+	sizes      []int
+	densityN   int
+	thresholds []float64
+	filesN     int
+	fileCounts []int
+	fileTokens int
+	tokens     int
+	seeds      int
+	repeats    int
+	decoys     []int
+	oracleNs   []int
+	dsGraphs   int
+	dsN        int
+	ipCases    int
+}
+
+func params(scale string) (scaleParams, error) {
+	switch scale {
+	case "full":
+		// The paper's parameters: graphs of 20..1000 vertices, 200-token
+		// file, 512-token multi-file scenario, 3 repeats.
+		return scaleParams{
+			sizes:      []int{20, 50, 100, 200, 500, 1000},
+			densityN:   200,
+			thresholds: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+			filesN:     200,
+			fileCounts: []int{1, 2, 4, 8, 16, 32, 64, 128},
+			fileTokens: 512,
+			tokens:     200,
+			seeds:      3,
+			repeats:    3,
+			decoys:     []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
+			oracleNs:   []int{20, 50, 100, 200},
+			dsGraphs:   4,
+			dsN:        6,
+			ipCases:    8,
+		}, nil
+	case "small":
+		return scaleParams{
+			sizes:      []int{20, 50, 100},
+			densityN:   60,
+			thresholds: []float64{0.2, 0.5, 1.0},
+			filesN:     60,
+			fileCounts: []int{1, 4, 16},
+			fileTokens: 64,
+			tokens:     50,
+			seeds:      2,
+			repeats:    2,
+			decoys:     []int{1, 4, 16, 64},
+			oracleNs:   []int{20, 50},
+			dsGraphs:   2,
+			dsN:        5,
+			ipCases:    4,
+		}, nil
+	default:
+		return scaleParams{}, fmt.Errorf("unknown scale %q (full|small)", scale)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ocdbench", flag.ContinueOnError)
+	var (
+		fig      = fs.Int("fig", 0, "figure to regenerate (1-7)")
+		thm4     = fs.Bool("thm4", false, "run the Theorem 4 experiment")
+		oracle   = fs.Bool("oracle", false, "run the §4.2 oracle experiment")
+		ip       = fs.Bool("ip", false, "run the ILP vs branch-and-bound cross-check")
+		tradeoff = fs.Bool("tradeoff", false, "run the §3.4 hybrid-objective curve")
+		dyn      = fs.Bool("dynamic", false, "run the §6 changing-conditions experiment")
+		coding   = fs.Bool("coding", false, "run the §6 encoding-under-loss experiment")
+		under    = fs.Bool("underlay", false, "run the §6 realistic-topologies experiment")
+		delay    = fs.Bool("delay", false, "run the §5.1 knowledge-delay ablation")
+		proto    = fs.Bool("protocol", false, "run the §4.1 message-passing protocol comparison")
+		bounds   = fs.Bool("bounds", false, "run the heuristic-vs-optimum bounds quality table")
+		arch     = fs.Bool("arch", false, "run the §2 tree/forest architecture comparison")
+		all      = fs.Bool("all", false, "run every experiment")
+		scale    = fs.String("scale", "full", "parameter scale: full | small")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed     = fs.Int64("seed", 1, "base random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := params(*scale)
+	if err != nil {
+		return err
+	}
+
+	emit := func(t *ocd.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, t.CSV())
+		} else {
+			fmt.Fprintln(stdout, t.ASCII())
+		}
+		return nil
+	}
+
+	ran := false
+	runFig := func(n int) bool { return *all || *fig == n }
+
+	if runFig(1) {
+		ran = true
+		if err := emit(ocd.ExperimentFigure1()); err != nil {
+			return err
+		}
+	}
+	if runFig(2) {
+		ran = true
+		if err := emit(ocd.ExperimentGraphSize(false, p.sizes, p.tokens, p.seeds, p.repeats, *seed)); err != nil {
+			return err
+		}
+	}
+	if runFig(3) {
+		ran = true
+		if err := emit(ocd.ExperimentGraphSize(true, p.sizes, p.tokens, p.seeds, p.repeats, *seed)); err != nil {
+			return err
+		}
+	}
+	if runFig(4) {
+		ran = true
+		if err := emit(ocd.ExperimentReceiverDensity(p.densityN, p.thresholds, p.tokens, p.seeds, p.repeats, *seed)); err != nil {
+			return err
+		}
+	}
+	if runFig(5) {
+		ran = true
+		if err := emit(ocd.ExperimentNumFiles(p.filesN, p.fileCounts, p.fileTokens, p.seeds, p.repeats, false, *seed)); err != nil {
+			return err
+		}
+	}
+	if runFig(6) {
+		ran = true
+		if err := emit(ocd.ExperimentNumFiles(p.filesN, p.fileCounts, p.fileTokens, p.seeds, p.repeats, true, *seed)); err != nil {
+			return err
+		}
+	}
+	if runFig(7) {
+		ran = true
+		if err := emit(ocd.ExperimentFigure7(p.dsGraphs, p.dsN, 0.4, *seed)); err != nil {
+			return err
+		}
+	}
+	if *thm4 || *all {
+		ran = true
+		if err := emit(ocd.ExperimentTheorem4(1, p.decoys, 1)); err != nil {
+			return err
+		}
+	}
+	if *oracle || *all {
+		ran = true
+		if err := emit(ocd.ExperimentOracleAdditive(p.oracleNs, p.tokens, *seed)); err != nil {
+			return err
+		}
+	}
+	if *ip || *all {
+		ran = true
+		if err := emit(ocd.ExperimentILPvsBnB(p.ipCases, 4, 2, *seed)); err != nil {
+			return err
+		}
+	}
+	if *tradeoff || *all {
+		ran = true
+		if err := emit(ocd.ExperimentTradeoffCurve(ocd.Figure1Instance())); err != nil {
+			return err
+		}
+	}
+	if *dyn || *all {
+		ran = true
+		if err := emit(ocd.ExperimentDynamicConditions(p.densityN/4, p.tokens/4, *seed)); err != nil {
+			return err
+		}
+	}
+	if *coding || *all {
+		ran = true
+		if err := emit(ocd.ExperimentLossCoding(p.densityN/4, p.tokens/4, 0.3,
+			[]float64{1.25, 1.5, 2.0}, *seed)); err != nil {
+			return err
+		}
+	}
+	if *under || *all {
+		ran = true
+		if err := emit(ocd.ExperimentUnderlay(p.densityN, p.densityN/8, p.tokens/4, *seed)); err != nil {
+			return err
+		}
+	}
+	if *delay || *all {
+		ran = true
+		if err := emit(ocd.ExperimentKnowledgeDelay(p.densityN/4, p.tokens/4, 6, *seed)); err != nil {
+			return err
+		}
+	}
+	if *proto || *all {
+		ran = true
+		if err := emit(ocd.ExperimentProtocolComparison(p.oracleNs, p.tokens/2, *seed)); err != nil {
+			return err
+		}
+	}
+	if *bounds || *all {
+		ran = true
+		if err := emit(ocd.ExperimentBoundsQuality(p.ipCases, 4, 2, *seed)); err != nil {
+			return err
+		}
+	}
+	if *arch || *all {
+		ran = true
+		if err := emit(ocd.ExperimentArchitectures(p.densityN/2, p.tokens/2, *seed)); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		fs.Usage()
+		return fmt.Errorf("nothing selected; pass -fig N, -thm4, -oracle, -ip, or -all")
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFigure1Table(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "min time") || !strings.Contains(s, "min bandwidth") {
+		t.Errorf("figure 1 table malformed:\n%s", s)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "1", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "objective,") {
+		t.Errorf("csv malformed:\n%s", out.String())
+	}
+}
+
+func TestSmallScaleSelected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "small", "-tradeoff", "-bounds"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "hybrid objective") || !strings.Contains(s, "certified optima") {
+		t.Errorf("tables missing:\n%s", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "nope", "-fig", "1"}, &out); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Error("no selection accepted")
+	}
+}
+
+func TestParams(t *testing.T) {
+	full, err := params("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.sizes[len(full.sizes)-1] != 1000 || full.fileTokens != 512 || full.repeats != 3 {
+		t.Errorf("full params drifted from the paper: %+v", full)
+	}
+	if _, err := params("tiny"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

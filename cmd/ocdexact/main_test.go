@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFigure1Gadget(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gadget", "figure1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"FOCD optimum: tau=2",
+		"EOCD optimum: bandwidth=4",
+		"min bandwidth at tau*=2: 6 moves",
+		"ILP tau=2: bandwidth=6",
+		"ILP tau=3: bandwidth=4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRandomTiny(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-tokens", "2", "-seed", "5", "-ilp=false"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "FOCD optimum") {
+		t.Errorf("output malformed:\n%s", out.String())
+	}
+}
+
+func TestUnknownGadget(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gadget", "nope"}, &out); err == nil {
+		t.Error("unknown gadget accepted")
+	}
+}

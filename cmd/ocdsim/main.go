@@ -1,0 +1,160 @@
+// Command ocdsim runs one of the distribution strategies on a generated or
+// loaded topology and workload, printing makespan ("moves" in the paper's
+// §5 terminology), bandwidth, pruned bandwidth, and the §5.1 lower bounds.
+//
+// Examples:
+//
+//	ocdsim -topology transit-stub -n 200 -tokens 200 -heuristic local -seed 7
+//	ocdsim -instance saved.json -heuristic all
+//	ocdsim -n 50 -heuristic tree -dump-schedule out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ocd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ocdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ocdsim", flag.ContinueOnError)
+	var (
+		topo      = fs.String("topology", "random", "topology: random | transit-stub")
+		n         = fs.Int("n", 100, "number of vertices")
+		tokens    = fs.Int("tokens", 200, "number of tokens in the file")
+		heuristic = fs.String("heuristic", "local", "strategy: roundrobin | random | local | bandwidth | global | tree | forest-K | protocol-local | local-delayed-K | all")
+		work      = fs.String("workload", "singlefile", "workload: singlefile | density | multifile | multisender")
+		density   = fs.Float64("density", 0.5, "receiver density threshold (density workload)")
+		files     = fs.Int("files", 4, "number of files (multifile workloads)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		maxSteps  = fs.Int("max-steps", 0, "timestep limit (0 = Theorem 1 horizon)")
+		oracle    = fs.Bool("oracle", false, "wrap the heuristic in the §4.2 propagate-then-plan oracle")
+		loss      = fs.Float64("loss", 0, "per-move loss probability (§6 lossy channels)")
+		patience  = fs.Int("patience", 10, "idle turns tolerated before declaring a stall")
+		instPath  = fs.String("instance", "", "load the instance from this JSON file instead of generating one")
+		dumpInst  = fs.String("dump-instance", "", "write the instance as JSON to this file")
+		dumpSched = fs.String("dump-schedule", "", "write the last schedule as JSON to this file")
+		timeline  = fs.Bool("timeline", false, "print the last schedule as a per-step timeline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := buildInstance(*instPath, *topo, *work, *n, *tokens, *density, *files, *seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "graph: n=%d arcs=%d tokens=%d workload=%s\n",
+		inst.N(), inst.G.NumArcs(), inst.NumTokens, *work)
+	fmt.Fprintf(stdout, "bounds: moves(timesteps) >= %d, bandwidth >= %d\n",
+		ocd.MakespanLowerBound(inst), ocd.BandwidthLowerBound(inst))
+
+	if *dumpInst != "" {
+		if err := writeJSON(*dumpInst, func(w io.Writer) error {
+			return ocd.EncodeInstanceJSON(w, inst)
+		}); err != nil {
+			return err
+		}
+	}
+
+	names := []string{*heuristic}
+	if *heuristic == "all" {
+		names = ocd.Heuristics()
+	}
+	var last *ocd.Schedule
+	for _, name := range names {
+		var res *ocd.RunResult
+		if *oracle {
+			res, err = ocd.RunOracle(inst, name, *seed)
+		} else {
+			res, err = ocd.RunHeuristic(inst, name, ocd.RunOptions{
+				MaxSteps: *maxSteps, Seed: *seed, Prune: *loss == 0, LossRate: *loss,
+				IdlePatience: *patience,
+			})
+		}
+		if err != nil {
+			return fmt.Errorf("heuristic %s: %w", name, err)
+		}
+		if *loss == 0 {
+			if verr := ocd.Validate(inst, res.Schedule); verr != nil {
+				return fmt.Errorf("heuristic %s produced invalid schedule: %w", name, verr)
+			}
+		}
+		fmt.Fprintf(stdout, "%-14s moves=%-5d bandwidth=%-8d pruned=%-8d lost=%-6d completed=%v\n",
+			res.Strategy, res.Steps, res.Moves, res.PrunedMoves, res.Lost, res.Completed)
+		last = res.Schedule
+	}
+	if *timeline && last != nil {
+		fmt.Fprint(stdout, ocd.RenderTimeline(inst, last, 8))
+	}
+	if *dumpSched != "" && last != nil {
+		if err := writeJSON(*dumpSched, func(w io.Writer) error {
+			return ocd.EncodeScheduleJSON(w, last)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildInstance loads or generates the problem instance.
+func buildInstance(instPath, topo, work string, n, tokens int, density float64, files int, seed int64) (*ocd.Instance, error) {
+	if instPath != "" {
+		f, err := os.Open(instPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ocd.DecodeInstanceJSON(f)
+	}
+
+	var g *ocd.Graph
+	var err error
+	switch topo {
+	case "random":
+		g, err = ocd.RandomTopology(n, ocd.DefaultCaps, seed)
+	case "transit-stub":
+		g, err = ocd.TransitStubTopology(n, ocd.DefaultCaps, seed)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	switch work {
+	case "singlefile":
+		return ocd.SingleFile(g, tokens), nil
+	case "density":
+		return ocd.ReceiverDensity(g, tokens, density, seed+1), nil
+	case "multifile":
+		return ocd.MultiFile(g, tokens, files)
+	case "multisender":
+		return ocd.MultiSender(g, tokens, files, seed+1)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", work)
+	}
+}
+
+// writeJSON creates path and streams enc into it.
+func writeJSON(path string, enc func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := enc(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

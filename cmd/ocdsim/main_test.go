@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestRunSingleHeuristic(t *testing.T) {
+	out := runOK(t, "-n", "15", "-tokens", "8", "-heuristic", "local", "-seed", "3")
+	if !strings.Contains(out, "local") || !strings.Contains(out, "completed=true") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunAllHeuristics(t *testing.T) {
+	out := runOK(t, "-n", "12", "-tokens", "6", "-heuristic", "all")
+	for _, name := range []string{"roundrobin", "random", "local", "bandwidth", "global"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %s in output:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunExtensionStrategies(t *testing.T) {
+	for _, h := range []string{"tree", "forest-2", "protocol-local", "local-delayed-1"} {
+		out := runOK(t, "-n", "12", "-tokens", "6", "-heuristic", h, "-patience", "10")
+		if !strings.Contains(out, "completed=true") {
+			t.Errorf("%s did not complete:\n%s", h, out)
+		}
+	}
+}
+
+func TestRunWorkloadsAndTopologies(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topology", "transit-stub", "-n", "20", "-tokens", "6"},
+		{"-workload", "density", "-n", "15", "-tokens", "6", "-density", "0.4"},
+		{"-workload", "multifile", "-n", "15", "-tokens", "8", "-files", "4"},
+		{"-workload", "multisender", "-n", "15", "-tokens", "8", "-files", "4"},
+		{"-n", "12", "-tokens", "6", "-oracle"},
+		{"-n", "12", "-tokens", "6", "-loss", "0.2"},
+		{"-n", "12", "-tokens", "6", "-timeline"},
+	} {
+		if out := runOK(t, args...); !strings.Contains(out, "bounds:") {
+			t.Errorf("args %v: output malformed:\n%s", args, out)
+		}
+	}
+}
+
+func TestRunDumpAndLoadInstance(t *testing.T) {
+	dir := t.TempDir()
+	instPath := filepath.Join(dir, "inst.json")
+	schedPath := filepath.Join(dir, "sched.json")
+	runOK(t, "-n", "12", "-tokens", "5", "-heuristic", "local",
+		"-dump-instance", instPath, "-dump-schedule", schedPath)
+	for _, p := range []string{instPath, schedPath} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("dump %s missing: %v", p, err)
+		}
+	}
+	// Reload the dumped instance and run on it.
+	out := runOK(t, "-instance", instPath, "-heuristic", "global")
+	if !strings.Contains(out, "completed=true") {
+		t.Errorf("loaded instance run failed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-topology", "nope"},
+		{"-workload", "nope"},
+		{"-heuristic", "nope", "-n", "10", "-tokens", "4"},
+		{"-instance", "/does/not/exist.json"},
+		{"-workload", "multifile", "-n", "10", "-tokens", "7", "-files", "3"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

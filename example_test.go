@@ -1,0 +1,111 @@
+package ocd_test
+
+import (
+	"fmt"
+
+	"ocd"
+)
+
+// ExampleSolveFOCD certifies the Figure 1 gadget's minimum makespan.
+func ExampleSolveFOCD() {
+	inst := ocd.Figure1Instance()
+	sched, err := ocd.SolveFOCD(inst, ocd.ExactOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("optimal makespan: %d timesteps\n", sched.Makespan())
+	// Output:
+	// optimal makespan: 2 timesteps
+}
+
+// ExampleSolveEOCD shows the Figure 1 bandwidth/time tension: the
+// minimum-bandwidth schedule is cheaper but slower than the fast one.
+func ExampleSolveEOCD() {
+	inst := ocd.Figure1Instance()
+	cheap, err := ocd.SolveEOCD(inst, 0, ocd.ExactOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fast, err := ocd.SolveEOCD(inst, 2, ocd.ExactOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("min bandwidth: %d moves in %d timesteps\n", cheap.Moves(), cheap.Makespan())
+	fmt.Printf("at tau=2:      %d moves\n", fast.Moves())
+	// Output:
+	// min bandwidth: 4 moves in 3 timesteps
+	// at tau=2:      6 moves
+}
+
+// ExampleSolveILP cross-checks the §3.4 time-indexed integer program
+// against the branch-and-bound optimum.
+func ExampleSolveILP() {
+	inst := ocd.Figure1Instance()
+	_, moves, err := ocd.SolveILP(inst, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("ILP optimum at tau=3: %d moves\n", moves)
+	// Output:
+	// ILP optimum at tau=3: 4 moves
+}
+
+// ExampleValidate demonstrates the §3.1 constraint checker.
+func ExampleValidate() {
+	g := ocd.NewGraph(3)
+	_ = g.AddArc(0, 1, 1)
+	_ = g.AddArc(1, 2, 1)
+	inst := ocd.NewInstance(g, 1)
+	inst.Have[0].Add(0)
+	inst.Want[2].Add(0)
+
+	good := &ocd.Schedule{Steps: []ocd.Step{
+		{{From: 0, To: 1, Token: 0}},
+		{{From: 1, To: 2, Token: 0}},
+	}}
+	fmt.Println("two-step relay:", ocd.Validate(inst, good))
+
+	// Forwarding in the same timestep as receipt violates Possession.
+	bad := &ocd.Schedule{Steps: []ocd.Step{
+		{{From: 0, To: 1, Token: 0}, {From: 1, To: 2, Token: 0}},
+	}}
+	fmt.Println("same-step relay valid:", ocd.Validate(inst, bad) == nil)
+	// Output:
+	// two-step relay: <nil>
+	// same-step relay valid: false
+}
+
+// ExampleRunHeuristic distributes a file with the Local heuristic and
+// reports the paper's two metrics.
+func ExampleRunHeuristic() {
+	g := ocd.NewGraph(4)
+	for i := 0; i < 4; i++ {
+		_ = g.AddEdge(i, (i+1)%4, 2)
+	}
+	inst := ocd.SingleFile(g, 4)
+	res, err := ocd.RunHeuristic(inst, "local", ocd.RunOptions{Seed: 1, Prune: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("completed=%v bandwidth=%d pruned=%d\n",
+		res.Completed, res.Moves, res.PrunedMoves)
+	// Output:
+	// completed=true bandwidth=12 pruned=12
+}
+
+// ExampleBandwidthLowerBound shows the §5.1 remaining-bandwidth bound.
+func ExampleBandwidthLowerBound() {
+	g := ocd.NewGraph(3)
+	_ = g.AddEdge(0, 1, 2)
+	_ = g.AddEdge(1, 2, 2)
+	inst := ocd.SingleFile(g, 5)
+	// Two receivers each missing five tokens: at least ten deliveries.
+	fmt.Println(ocd.BandwidthLowerBound(inst))
+	// Output:
+	// 10
+}

@@ -1,0 +1,53 @@
+// Multifile reproduces the paper's §5.3 subdivision narrative at laptop
+// scale: a fixed token mass is split into more and more files wanted by
+// disjoint receiver groups. Flooding heuristics keep paying full price;
+// only the bandwidth heuristic's consumption tracks the shrinking demand.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ocd"
+)
+
+func main() {
+	const (
+		vertices = 80
+		tokens   = 128
+		seed     = 9
+	)
+	g, err := ocd.RandomTopology(vertices, ocd.DefaultCaps, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("random overlay: %d vertices, %d arcs\n", g.N(), g.NumArcs())
+	fmt.Printf("%d tokens at a single source, subdivided into 1..16 files\n\n", tokens)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "files\theuristic\ttimesteps\tbandwidth\tbw-lower-bound\t")
+	for _, files := range []int{1, 2, 4, 8, 16} {
+		inst, err := ocd.MultiFile(g, tokens, files)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range []string{"local", "bandwidth"} {
+			res, err := ocd.RunHeuristic(inst, name, ocd.RunOptions{Seed: seed, Prune: true})
+			if err != nil {
+				log.Fatalf("files=%d %s: %v", files, name, err)
+			}
+			fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t\n",
+				files, name, res.Steps, res.Moves, ocd.BandwidthLowerBound(inst))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nExpected shape (paper §5.3, Figures 5 and 6): the flooding")
+	fmt.Println("heuristic's bandwidth stays roughly flat as files shrink, while the")
+	fmt.Println("bandwidth heuristic tracks the falling lower bound.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a small overlay, distribute one file with the Local
+// (rarest-random) heuristic, and print the resulting schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ocd"
+)
+
+func main() {
+	// An 8-vertex overlay: a ring with two chords, capacity 2 per arc.
+	g := ocd.NewGraph(8)
+	for i := 0; i < 8; i++ {
+		if err := g.AddEdge(i, (i+1)%8, 2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, chord := range [][2]int{{0, 4}, {2, 6}} {
+		if err := g.AddEdge(chord[0], chord[1], 2); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Vertex 0 has a 6-token file; everyone else wants it.
+	inst := ocd.SingleFile(g, 6)
+
+	fmt.Printf("graph: %d vertices, %d arcs, diameter %d\n",
+		g.N(), g.NumArcs(), g.Diameter())
+	fmt.Printf("lower bounds: >= %d timesteps, >= %d token transfers\n\n",
+		ocd.MakespanLowerBound(inst), ocd.BandwidthLowerBound(inst))
+
+	res, err := ocd.RunHeuristic(inst, "local", ocd.RunOptions{Seed: 7, Prune: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ocd.Validate(inst, res.Schedule); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("local heuristic: %d timesteps, %d transfers (%d after pruning)\n\n",
+		res.Steps, res.Moves, res.PrunedMoves)
+	fmt.Print(ocd.RenderTimeline(inst, res.Schedule, 8))
+}

@@ -1,0 +1,193 @@
+package ocd_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ocd"
+)
+
+func TestFacadeFlowBounds(t *testing.T) {
+	g := ocd.NewGraph(3)
+	if err := g.AddArc(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddArc(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	inst := ocd.NewInstance(g, 4)
+	inst.Have[0].AddRange(0, 4)
+	inst.Want[2].AddRange(0, 4)
+
+	flowLB, err := ocd.FlowMakespanLowerBound(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flowLB != 2 {
+		t.Errorf("flow bound = %d, want 2 (ceil(4/2) = dist)", flowLB)
+	}
+	combined, err := ocd.CombinedMakespanLowerBound(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined < flowLB || combined < ocd.MakespanLowerBound(inst) {
+		t.Errorf("combined bound %d below components", combined)
+	}
+	value, cut, err := ocd.MaxFlow(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value != 2 || len(cut) == 0 {
+		t.Errorf("max flow = %d cut=%v", value, cut)
+	}
+}
+
+func TestFacadeSolveFOCDILP(t *testing.T) {
+	inst := ocd.Figure1Instance()
+	sched, tau, err := ocd.SolveFOCDILP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 2 || sched.Makespan() != 2 {
+		t.Errorf("ILP FOCD tau = %d (schedule %d), want 2", tau, sched.Makespan())
+	}
+}
+
+func TestFacadeJSONRoundTrip(t *testing.T) {
+	g, err := ocd.RandomTopology(10, ocd.DefaultCaps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := ocd.SingleFile(g, 4)
+	var buf bytes.Buffer
+	if err := ocd.EncodeInstanceJSON(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ocd.DecodeInstanceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != inst.N() {
+		t.Error("instance round trip changed size")
+	}
+
+	res, err := ocd.RunHeuristic(inst, "local", ocd.RunOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := ocd.EncodeScheduleJSON(&buf, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := ocd.DecodeScheduleJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Moves() != res.Schedule.Moves() {
+		t.Error("schedule round trip changed moves")
+	}
+}
+
+func TestFacadeRenderTimeline(t *testing.T) {
+	inst := ocd.Figure1Instance()
+	sched, err := ocd.SolveEOCD(inst, 0, ocd.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ocd.RenderTimeline(inst, sched, 4)
+	if !strings.Contains(out, "step 1") || !strings.Contains(out, "100%") {
+		t.Errorf("timeline malformed:\n%s", out)
+	}
+}
+
+func TestFacadeBaselineFactories(t *testing.T) {
+	g, err := ocd.RandomTopology(15, ocd.DefaultCaps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := ocd.SingleFile(g, 8)
+	for name, f := range map[string]ocd.StrategyFactory{
+		"tree":           ocd.TreeFactory(),
+		"forest":         ocd.ForestFactory(2),
+		"local-delayed":  ocd.LocalDelayedFactory(1),
+		"protocol-local": ocd.ProtocolLocalFactory(),
+	} {
+		res, err := ocd.RunStrategy(inst, f, ocd.RunOptions{Seed: 3, IdlePatience: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Completed {
+			t.Errorf("%s incomplete", name)
+		}
+		if err := ocd.Validate(inst, res.Schedule); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	cases := map[string]func() (*ocd.Table, error){
+		"fig3": func() (*ocd.Table, error) {
+			return ocd.ExperimentGraphSize(true, []int{12}, 8, 1, 1, 2)
+		},
+		"fig4": func() (*ocd.Table, error) {
+			return ocd.ExperimentReceiverDensity(14, []float64{0.5}, 8, 1, 1, 2)
+		},
+		"fig5": func() (*ocd.Table, error) {
+			return ocd.ExperimentNumFiles(13, []int{2}, 8, 1, 1, false, 2)
+		},
+		"fig6": func() (*ocd.Table, error) {
+			return ocd.ExperimentNumFiles(13, []int{2}, 8, 1, 1, true, 2)
+		},
+		"fig7": func() (*ocd.Table, error) {
+			return ocd.ExperimentFigure7(1, 4, 0.5, 2)
+		},
+		"thm4": func() (*ocd.Table, error) {
+			return ocd.ExperimentTheorem4(1, []int{2}, 1)
+		},
+		"oracle": func() (*ocd.Table, error) {
+			return ocd.ExperimentOracleAdditive([]int{12}, 6, 2)
+		},
+		"dynamic": func() (*ocd.Table, error) {
+			return ocd.ExperimentDynamicConditions(10, 6, 2)
+		},
+		"coding": func() (*ocd.Table, error) {
+			return ocd.ExperimentLossCoding(8, 16, 0.2, []float64{1.5}, 2)
+		},
+		"underlay": func() (*ocd.Table, error) {
+			return ocd.ExperimentUnderlay(40, 6, 8, 2)
+		},
+		"delay": func() (*ocd.Table, error) {
+			return ocd.ExperimentKnowledgeDelay(10, 8, 1, 2)
+		},
+		"tradeoff": func() (*ocd.Table, error) {
+			return ocd.ExperimentTradeoffCurve(ocd.Figure1Instance())
+		},
+		"protocol": func() (*ocd.Table, error) {
+			return ocd.ExperimentProtocolComparison([]int{12}, 6, 2)
+		},
+		"bounds": func() (*ocd.Table, error) {
+			return ocd.ExperimentBoundsQuality(1, 4, 2, 2)
+		},
+		"arch": func() (*ocd.Table, error) {
+			return ocd.ExperimentArchitectures(12, 8, 2)
+		},
+		"ilp-vs-bnb": func() (*ocd.Table, error) {
+			return ocd.ExperimentILPvsBnB(1, 4, 1, 2)
+		},
+	}
+	for name, run := range cases {
+		tab, err := run()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+		if tab.CSV() == "" || tab.ASCII() == "" {
+			t.Errorf("%s: rendering failed", name)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package baselines implements the overlay architectures the paper's
+// survey (§2) positions OCD against, as strategies over the same formal
+// model:
+//
+//   - Tree: a single bandwidth-optimized distribution tree rooted at the
+//     source (the Overcast architecture): every parent streams tokens to
+//     its children, so each token crosses exactly n−1 arcs — bandwidth
+//     optimal for all-want workloads — but the deepest path and the
+//     narrowest uplink bound the makespan.
+//   - Forest: k striped trees (the SplitStream/CoopNet architecture): the
+//     token space is split into k stripes, each pushed down its own tree;
+//     trees are built with different random tie-breaking so interior load
+//     spreads (true interior-node-disjointness, like the real systems,
+//     is approximated, not guaranteed).
+//
+// Comparing these against the paper's mesh heuristics reproduces the §2
+// narrative: trees conserve bandwidth, meshes finish faster.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+	"ocd/internal/sim"
+)
+
+// ErrNoSource indicates the workload has no vertex holding tokens.
+var ErrNoSource = errors.New("baselines: no source vertex holds any token")
+
+// Tree returns the single-tree (Overcast-style) strategy factory.
+var Tree sim.Factory = newTree
+
+// Forest returns a k-stripe striped-forest (SplitStream-style) factory.
+func Forest(k int) sim.Factory {
+	return func(inst *core.Instance, rng *rand.Rand) (sim.Strategy, error) {
+		if k < 1 {
+			return nil, fmt.Errorf("baselines: forest needs k >= 1, got %d", k)
+		}
+		return newForest(inst, rng, k)
+	}
+}
+
+func newTree(inst *core.Instance, rng *rand.Rand) (sim.Strategy, error) {
+	return newForest(inst, rng, 1)
+}
+
+// treeStrategy pushes each stripe of tokens down its tree: a parent sends
+// its child the lowest-ID stripe tokens the child lacks, up to capacity.
+type treeStrategy struct {
+	k int
+	// parent[i][v] is v's parent in tree i (-1 for the root or detached).
+	parent [][]int
+	// stripe[t] is the tree responsible for token t.
+	stripe []int
+}
+
+func newForest(inst *core.Instance, rng *rand.Rand, k int) (sim.Strategy, error) {
+	root := richestVertex(inst)
+	if root == -1 {
+		return nil, ErrNoSource
+	}
+	s := &treeStrategy{k: k, stripe: make([]int, inst.NumTokens)}
+	for t := range s.stripe {
+		s.stripe[t] = t % k
+	}
+	for i := 0; i < k; i++ {
+		s.parent = append(s.parent, buildWideTree(inst.G, root, rng))
+	}
+	return s, nil
+}
+
+// richestVertex picks the vertex holding the most tokens as the tree root
+// (the single source in the paper's workloads).
+func richestVertex(inst *core.Instance) int {
+	best, bestCount := -1, 0
+	for v := 0; v < inst.N(); v++ {
+		if c := inst.Have[v].Count(); c > bestCount {
+			best, bestCount = v, c
+		}
+	}
+	return best
+}
+
+// buildWideTree grows a spanning tree from root preferring high-capacity
+// arcs (Overcast's bandwidth probing), breaking ties randomly so repeated
+// builds differ — that randomness is what spreads the striped forest's
+// interior load.
+func buildWideTree(g *graph.Graph, root int, rng *rand.Rand) []int {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	inTree := make([]bool, n)
+	inTree[root] = true
+	// Prim-like growth: repeatedly attach the detached vertex reachable
+	// over the widest arc from the tree.
+	for {
+		bestFrom, bestTo, bestCap, seen := -1, -1, 0, 0
+		for u := 0; u < n; u++ {
+			if !inTree[u] {
+				continue
+			}
+			for _, a := range g.Out(u) {
+				if inTree[a.To] {
+					continue
+				}
+				switch {
+				case a.Cap > bestCap:
+					bestFrom, bestTo, bestCap, seen = u, a.To, a.Cap, 1
+				case a.Cap == bestCap:
+					seen++
+					if rng.Intn(seen) == 0 {
+						bestFrom, bestTo = u, a.To
+					}
+				}
+			}
+		}
+		if bestTo == -1 {
+			return parent // remaining vertices unreachable from root
+		}
+		parent[bestTo] = bestFrom
+		inTree[bestTo] = true
+	}
+}
+
+func (s *treeStrategy) Name() string {
+	if s.k == 1 {
+		return "tree"
+	}
+	return fmt.Sprintf("forest-%d", s.k)
+}
+
+func (s *treeStrategy) Plan(st *sim.State) []core.Move {
+	inst := st.Inst
+	var moves []core.Move
+	// Trees may share arcs; track joint per-arc usage so the plan never
+	// exceeds a capacity.
+	used := make(map[[2]int]int)
+	for i := 0; i < s.k; i++ {
+		for child := 0; child < inst.N(); child++ {
+			p := s.parent[i][child]
+			if p == -1 {
+				continue
+			}
+			// Stream the stripe down this edge: lowest missing stripe
+			// tokens the parent can supply, within the arc's remaining
+			// capacity.
+			key := [2]int{p, child}
+			capacity := inst.G.Cap(p, child) - used[key]
+			if capacity <= 0 {
+				continue
+			}
+			sent := 0
+			childHas := st.Possess[child]
+			st.Possess[p].ForEach(func(t int) bool {
+				if sent >= capacity {
+					return false
+				}
+				if s.stripe[t] != i || childHas.Has(t) {
+					return true
+				}
+				moves = append(moves, core.Move{From: p, To: child, Token: t})
+				sent++
+				return true
+			})
+			used[key] += sent
+		}
+	}
+	return moves
+}

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+func TestTreeCompletesWithOptimalBandwidth(t *testing.T) {
+	g, err := topology.Random(30, topology.DefaultCaps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 24)
+	res, err := sim.Run(inst, Tree, sim.Options{Seed: 1, Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("tree run incomplete")
+	}
+	if err := core.Validate(inst, res.Schedule); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	if res.Rejected != 0 {
+		t.Errorf("%d rejected moves", res.Rejected)
+	}
+	// The tree never duplicates: every token crosses each tree edge once,
+	// so raw bandwidth equals the lower bound m(n−1) exactly.
+	if lb := core.BandwidthLowerBound(inst, nil); res.Moves != lb {
+		t.Errorf("tree bandwidth = %d, want exactly the lower bound %d", res.Moves, lb)
+	}
+}
+
+func TestForestStripesAndCompletes(t *testing.T) {
+	g, err := topology.Random(30, topology.DefaultCaps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 24)
+	for _, k := range []int{2, 4} {
+		res, err := sim.Run(inst, Forest(k), sim.Options{Seed: 1, Prune: true})
+		if err != nil {
+			t.Fatalf("forest-%d: %v", k, err)
+		}
+		if !res.Completed {
+			t.Fatalf("forest-%d incomplete", k)
+		}
+		if err := core.Validate(inst, res.Schedule); err != nil {
+			t.Fatalf("forest-%d invalid: %v", k, err)
+		}
+		if res.Rejected != 0 {
+			t.Errorf("forest-%d: %d rejected moves (shared-arc capacity bug)", k, res.Rejected)
+		}
+		if lb := core.BandwidthLowerBound(inst, nil); res.Moves != lb {
+			t.Errorf("forest-%d bandwidth = %d, want %d", k, res.Moves, lb)
+		}
+	}
+}
+
+func TestMeshBeatsTreeOnSpeed(t *testing.T) {
+	// The §2 narrative: meshes (the paper's heuristics) finish faster than
+	// a single tree, which pays for its bandwidth optimality with a
+	// pipeline bound. Aggregate over seeds.
+	g, err := topology.Random(40, topology.DefaultCaps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 60)
+	treeTotal, meshTotal := 0, 0
+	for seed := int64(0); seed < 3; seed++ {
+		tree, err := sim.Run(inst, Tree, sim.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mesh, err := sim.Run(inst, heuristics.Local, sim.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeTotal += tree.Steps
+		meshTotal += mesh.Steps
+	}
+	if meshTotal >= treeTotal {
+		t.Errorf("mesh (%d total turns) not faster than tree (%d)", meshTotal, treeTotal)
+	}
+}
+
+func TestForestFasterThanSingleTree(t *testing.T) {
+	// Striping across k trees parallelizes the push (the SplitStream
+	// motivation); on capacity-constrained graphs the forest should not be
+	// slower than one tree. Aggregate over seeds.
+	g, err := topology.Random(40, topology.DefaultCaps, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 64)
+	oneTotal, fourTotal := 0, 0
+	for seed := int64(0); seed < 3; seed++ {
+		one, err := sim.Run(inst, Tree, sim.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		four, err := sim.Run(inst, Forest(4), sim.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneTotal += one.Steps
+		fourTotal += four.Steps
+	}
+	if fourTotal > oneTotal {
+		t.Errorf("forest-4 (%d total turns) slower than single tree (%d)", fourTotal, oneTotal)
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	g, err := topology.Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := core.NewInstance(g, 2) // nobody holds anything
+	if _, err := Tree(empty, nil); err == nil {
+		t.Error("sourceless instance accepted")
+	}
+	inst := workload.SingleFile(g, 2)
+	if _, err := Forest(0)(inst, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestTreeNames(t *testing.T) {
+	g, err := topology.Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 2)
+	s, err := Tree(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "tree" {
+		t.Errorf("name = %q", s.Name())
+	}
+	f, err := Forest(3)(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "forest-3" {
+		t.Errorf("name = %q", f.Name())
+	}
+}

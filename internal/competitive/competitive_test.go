@@ -1,0 +1,117 @@
+package competitive
+
+import (
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/heuristics"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+func TestAdversarialInstanceShape(t *testing.T) {
+	inst, err := AdversarialInstance(4, 10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 5 || inst.NumTokens != 10 {
+		t.Errorf("instance n=%d m=%d", inst.N(), inst.NumTokens)
+	}
+	if !inst.Have[0].Has(3) || !inst.Want[4].Has(3) || inst.Want[4].Count() != 1 {
+		t.Error("have/want layout wrong")
+	}
+	if err := inst.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialInstanceErrors(t *testing.T) {
+	if _, err := AdversarialInstance(0, 1, 0, 1); err == nil {
+		t.Error("pathLen=0 accepted")
+	}
+	if _, err := AdversarialInstance(2, 3, 5, 1); err == nil {
+		t.Error("wanted token out of range accepted")
+	}
+}
+
+func TestWorstCaseRatioGrowsWithDecoys(t *testing.T) {
+	// Theorem 4: the ratio must grow without bound in the decoy count.
+	prev := 0.0
+	for _, m := range []int{2, 8, 32} {
+		pt, err := WorstCaseRatio(1, m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Offline != 1 {
+			t.Errorf("offline optimum = %d, want 1", pt.Offline)
+		}
+		if pt.Ratio <= prev {
+			t.Errorf("ratio %f did not grow beyond %f at m=%d", pt.Ratio, prev, m)
+		}
+		prev = pt.Ratio
+	}
+	// With capacity 1 and a single link, the knowledge-free online
+	// algorithm needs exactly m steps against an offline optimum of 1.
+	pt, err := WorstCaseRatio(1, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Online != 16 {
+		t.Errorf("online makespan = %d, want 16", pt.Online)
+	}
+}
+
+func TestWorstCaseRatioLongPath(t *testing.T) {
+	pt, err := WorstCaseRatio(5, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Offline != 5 {
+		t.Errorf("offline = %d, want path length 5", pt.Offline)
+	}
+	if pt.Online < pt.Offline {
+		t.Error("online beat the offline optimum")
+	}
+}
+
+func TestOracleWithinAdditiveDiameter(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		g, err := topology.Random(25, topology.DefaultCaps, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := workload.SingleFile(g, 20)
+		planned, err := RunOracle(inst, heuristics.Global, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !planned.Completed {
+			t.Fatal("oracle run incomplete")
+		}
+		if err := core.Validate(inst, planned.Schedule); err != nil {
+			t.Fatalf("oracle schedule invalid: %v", err)
+		}
+		// The first diameter steps must be idle (knowledge propagation).
+		diam := g.Diameter()
+		for i := 0; i < diam && i < len(planned.Schedule.Steps); i++ {
+			if len(planned.Schedule.Steps[i]) != 0 {
+				t.Errorf("seed %d: oracle moved during listening step %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestOracleNamePropagates(t *testing.T) {
+	g, err := topology.Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 1)
+	res, err := RunOracle(inst, heuristics.Local, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "oracle(local)" {
+		t.Errorf("strategy name = %q", res.Strategy)
+	}
+}

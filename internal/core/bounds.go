@@ -1,0 +1,101 @@
+package core
+
+import "ocd/internal/tokenset"
+
+// BandwidthLowerBound returns the §5.1 remaining-bandwidth bound: every
+// token that is wanted but not possessed requires at least one move, so the
+// bound is Σ_v |w(v) \ p(v)|. With possess == nil the instance's initial
+// possession is used.
+func BandwidthLowerBound(inst *Instance, possess []tokenset.Set) int {
+	if possess == nil {
+		possess = inst.Have
+	}
+	total := 0
+	for v := 0; v < inst.N(); v++ {
+		total += inst.Want[v].DifferenceCount(possess[v])
+	}
+	return total
+}
+
+// MakespanLowerBound returns the §5.1 radius-closure bound on the remaining
+// number of timesteps. For a vertex v and radius i, let k_i be the number of
+// tokens v wants that no vertex within distance i of v possesses. Those
+// tokens cannot start arriving before timestep i+1, and all of v's missing
+// tokens must cross v's in-arcs at no more than InCapacity(v) per step, so
+//
+//	M_i(v) = i + ceil(k_i / InCapacity(v))
+//
+// is admissible (the paper divides by indegree; dividing by in-capacity
+// keeps the bound admissible when capacities exceed one). The bound is
+// max over v and i with k_i > 0. With possess == nil the initial possession
+// is used.
+func MakespanLowerBound(inst *Instance, possess []tokenset.Set) int {
+	if possess == nil {
+		possess = inst.Have
+	}
+	best := 0
+	for v := 0; v < inst.N(); v++ {
+		missing := inst.Want[v].Difference(possess[v])
+		if missing.Empty() {
+			continue
+		}
+		inCap := inst.G.InCapacity(v)
+		if inCap == 0 {
+			// Unsatisfiable vertex; no finite bound, report the horizon.
+			return inst.TheoremOneHorizon()
+		}
+		if m := vertexRadiusBound(inst, possess, v, missing, inCap); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// vertexRadiusBound computes max_i (i + ceil(k_i / inCap)) for one vertex.
+func vertexRadiusBound(inst *Instance, possess []tokenset.Set, v int, missing tokenset.Set, inCap int) int {
+	dist := inst.G.BFSTo(v)
+	maxDist := 0
+	for _, d := range dist {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	// within[i] = tokens possessed at distance ≤ i of v. Build incrementally.
+	within := tokenset.New(inst.NumTokens)
+	// Bucket vertices by distance.
+	buckets := make([][]int, maxDist+1)
+	for u, d := range dist {
+		if d >= 0 {
+			buckets[d] = append(buckets[d], u)
+		}
+	}
+	best := 0
+	for i := 0; i <= maxDist; i++ {
+		for _, u := range buckets[i] {
+			within.UnionWith(possess[u])
+		}
+		k := missing.DifferenceCount(within)
+		if k == 0 {
+			break
+		}
+		m := i + (k+inCap-1)/inCap
+		if m > best {
+			best = m
+		}
+	}
+	// Tokens beyond every radius (unreachable) are caught by Satisfiable;
+	// here they simply stop contributing once within saturates.
+	return best
+}
+
+// OneStepRetrievable returns, for vertex v, the tokens that could arrive in
+// a single timestep given current possession: the union of the possession
+// of v's in-neighbors. This is the "one-hop-knowledge" notion of §5.1 used
+// by the Bandwidth heuristic and the special-case one-step lookahead bound.
+func OneStepRetrievable(inst *Instance, possess []tokenset.Set, v int) tokenset.Set {
+	out := tokenset.New(inst.NumTokens)
+	for _, a := range inst.G.In(v) {
+		out.UnionWith(possess[a.From])
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package core
+
+import "math/bits"
+
+// DescriptionBits returns the size in bits of the Theorem 2 canonical
+// encoding of a schedule: each move is a token plus an arc
+// (2·⌈log n⌉ + ⌈log m⌉ bits), and the move sequence is segmented into
+// timesteps by per-step move counts (⌈log nm⌉ bits each). Theorem 2 states
+// that any satisfiable FOCD instance admits a successful schedule of
+// O(nm·(log n + log m)) bits; TheoremTwoBound gives that budget explicitly
+// so the two can be compared in tests and experiments.
+func DescriptionBits(inst *Instance, sched *Schedule) int {
+	n, m := inst.N(), inst.NumTokens
+	moveBits := 2*ceilLog2(n) + ceilLog2(m)
+	stepBits := ceilLog2(n * m)
+	total := 0
+	for _, st := range sched.Steps {
+		total += stepBits + len(st)*moveBits
+	}
+	return total
+}
+
+// TheoremTwoBound returns the Theorem 2 budget: m(n−1) moves of
+// 2⌈log n⌉+⌈log m⌉ bits plus m(n−1) step counters of ⌈log nm⌉ bits — the
+// explicit constant behind O(nm·(log n + log m)).
+func TheoremTwoBound(inst *Instance) int {
+	n, m := inst.N(), inst.NumTokens
+	maxMoves := m * (n - 1)
+	if maxMoves < 0 {
+		maxMoves = 0
+	}
+	return maxMoves * (2*ceilLog2(n) + ceilLog2(m) + ceilLog2(n*m))
+}
+
+// ceilLog2 returns ⌈log₂ x⌉ for x ≥ 1 (0 for smaller inputs).
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}

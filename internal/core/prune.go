@@ -1,0 +1,74 @@
+package core
+
+import "ocd/internal/tokenset"
+
+// Prune implements the §5.1 post-pass: "Pruning first removes all moves
+// that deliver a token repeatedly to the same vertex, and then works back
+// from the last move to the first, removing moves that deliver tokens which
+// were never used by the destination vertex."
+//
+// A delivered token is "used" if the destination wants it or if a kept
+// later move sends it onward. Pruning never invalidates a valid schedule,
+// never increases the move count, and preserves success; trailing and
+// interior timesteps left empty are dropped (possession is monotone, so
+// compressing empty steps keeps every constraint satisfied).
+func Prune(inst *Instance, sched *Schedule) *Schedule {
+	// Pass 1: drop duplicate deliveries. A move is redundant if the
+	// destination already possesses the token at the moment of delivery
+	// (including an earlier kept move in the same timestep).
+	cur := inst.InitialPossession()
+	kept := make([]Step, len(sched.Steps))
+	for i, st := range sched.Steps {
+		var arrivals []Move
+		for _, mv := range st {
+			if cur[mv.To].Has(mv.Token) {
+				continue // duplicate delivery
+			}
+			dup := false
+			for _, a := range arrivals {
+				if a.To == mv.To && a.Token == mv.Token {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			arrivals = append(arrivals, mv)
+			kept[i] = append(kept[i], mv)
+		}
+		for _, mv := range kept[i] {
+			cur[mv.To].Add(mv.Token)
+		}
+	}
+
+	// Pass 2: backward sweep. needed[v] holds the tokens vertex v must
+	// possess because it wants them or because a kept later move sends
+	// them from v.
+	needed := make([]tokenset.Set, inst.N())
+	for v := range needed {
+		needed[v] = inst.Want[v].Clone()
+	}
+	final := make([]Step, len(kept))
+	for i := len(kept) - 1; i >= 0; i-- {
+		for _, mv := range kept[i] {
+			if !needed[mv.To].Has(mv.Token) {
+				continue // delivery never used downstream
+			}
+			final[i] = append(final[i], mv)
+		}
+		for _, mv := range final[i] {
+			// The sender must possess the token before this step; protect
+			// its (unique, by pass 1) earlier delivery or initial copy.
+			needed[mv.From].Add(mv.Token)
+		}
+	}
+
+	out := &Schedule{}
+	for _, st := range final {
+		if len(st) > 0 {
+			out.Steps = append(out.Steps, st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTimeline formats a schedule as a per-timestep text timeline with a
+// running completion percentage, the human-readable view used by the
+// examples and ocdsim:
+//
+//	step 1 [ 33%]  0-[2]->1  0-[0]->3
+//	step 2 [100%]  1-[2]->4
+//
+// Completion is the fraction of (vertex, wanted token) pairs satisfied at
+// the end of each step. maxMovesPerLine truncates wide steps (0 = no
+// truncation).
+func RenderTimeline(inst *Instance, sched *Schedule, maxMovesPerLine int) string {
+	totalWants := 0
+	for v := 0; v < inst.N(); v++ {
+		totalWants += inst.Want[v].Count()
+	}
+	possess := inst.InitialPossession()
+	satisfied := func() int {
+		n := 0
+		for v := 0; v < inst.N(); v++ {
+			n += inst.Want[v].IntersectionCount(possess[v])
+		}
+		return n
+	}
+
+	var b strings.Builder
+	for i, st := range sched.Steps {
+		for _, mv := range st {
+			possess[mv.To].Add(mv.Token)
+		}
+		pct := 100
+		if totalWants > 0 {
+			pct = satisfied() * 100 / totalWants
+		}
+		fmt.Fprintf(&b, "step %d [%3d%%] ", i+1, pct)
+		for j, mv := range st {
+			if maxMovesPerLine > 0 && j >= maxMovesPerLine {
+				fmt.Fprintf(&b, " … +%d more", len(st)-j)
+				break
+			}
+			fmt.Fprintf(&b, " %v", mv)
+		}
+		if len(st) == 0 {
+			b.WriteString(" (idle)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package dynamic
+
+import (
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+func testInstance(t *testing.T, n, tokens int) *core.Instance {
+	t.Helper()
+	g, err := topology.Random(n, topology.DefaultCaps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.SingleFile(g, tokens)
+}
+
+func arc(from, to, c int) graph.Arc { return graph.Arc{From: from, To: to, Cap: c} }
+
+func TestStaticModelIsIdentity(t *testing.T) {
+	m := Static{}
+	if got := m.Cap(3, arc(0, 1, 7)); got != 7 {
+		t.Errorf("static cap = %d", got)
+	}
+}
+
+func TestCrossTrafficBounds(t *testing.T) {
+	m := CrossTraffic{MaxShare: 0.8, Seed: 1}
+	varies := false
+	for step := 0; step < 50; step++ {
+		c := m.Cap(step, arc(0, 1, 10))
+		if c < 1 || c > 10 {
+			t.Fatalf("cross traffic cap %d outside [1,10]", c)
+		}
+		if c != 10 {
+			varies = true
+		}
+		// Determinism.
+		if c != m.Cap(step, arc(0, 1, 10)) {
+			t.Fatal("cross traffic not deterministic")
+		}
+	}
+	if !varies {
+		t.Error("cross traffic never reduced capacity")
+	}
+}
+
+func TestLinkFailureRate(t *testing.T) {
+	m := LinkFailure{P: 0.5, Seed: 2}
+	down := 0
+	const trials = 400
+	for step := 0; step < trials; step++ {
+		if m.Cap(step, arc(0, 1, 3)) == 0 {
+			down++
+		}
+	}
+	if down < trials/4 || down > 3*trials/4 {
+		t.Errorf("failure rate %d/%d far from 0.5", down, trials)
+	}
+}
+
+func TestPeriodicDipsAndRecovers(t *testing.T) {
+	m := Periodic{Period: 10, Floor: 0.2}
+	peak := m.Cap(0, arc(0, 1, 10))
+	trough := m.Cap(5, arc(0, 1, 10))
+	if peak != 10 {
+		t.Errorf("peak cap = %d, want 10", peak)
+	}
+	if trough >= peak || trough < 1 {
+		t.Errorf("trough cap = %d", trough)
+	}
+	if m.Cap(10, arc(0, 1, 10)) != 10 {
+		t.Error("capacity did not recover at the period boundary")
+	}
+}
+
+func TestChurnRespectsAlwaysUp(t *testing.T) {
+	m := Churn{P: 1.0, Seed: 3, AlwaysUp: []int{0, 1}}
+	if m.Cap(4, arc(0, 1, 5)) != 5 {
+		t.Error("always-up pair still churned")
+	}
+	if m.Cap(4, arc(0, 2, 5)) != 0 {
+		t.Error("churning vertex kept its arc")
+	}
+}
+
+func TestAdversaryCutsUsefulArcs(t *testing.T) {
+	g, err := topology.Star(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 4)
+	adv := NewAdversary(inst, 1)
+	adv.Observe(0, inst.InitialPossession())
+	// The useful frontier at step 0 is {0→1, 0→2}; with budget 1 the
+	// adversary cuts exactly one of them, and never a useless arc.
+	cut := 0
+	for _, a := range [][2]int{{0, 1}, {0, 2}} {
+		if adv.Cap(0, arc(a[0], a[1], 2)) == 0 {
+			cut++
+		}
+	}
+	if cut != 1 {
+		t.Errorf("adversary cut %d frontier arcs, want exactly 1", cut)
+	}
+	if adv.Cap(0, arc(1, 0, 2)) != 2 {
+		t.Error("adversary cut a useless arc")
+	}
+}
+
+func TestAdversaryNeverCutsWholeFrontier(t *testing.T) {
+	// Even with an absurd budget, at least half the useful frontier
+	// survives, so progress is always possible.
+	g, err := topology.Star(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 4)
+	adv := NewAdversary(inst, 1000)
+	adv.Observe(0, inst.InitialPossession())
+	alive := 0
+	for v := 1; v < 5; v++ {
+		if adv.Cap(0, arc(0, v, 2)) > 0 {
+			alive++
+		}
+	}
+	if alive < 2 {
+		t.Errorf("only %d frontier arcs survived an unbounded budget", alive)
+	}
+}
+
+func TestRunUnderEachModel(t *testing.T) {
+	inst := testInstance(t, 20, 12)
+	models := []Model{
+		Static{},
+		CrossTraffic{MaxShare: 0.6, Seed: 5},
+		LinkFailure{P: 0.25, Seed: 5},
+		Periodic{Period: 6, Floor: 0.3},
+		Churn{P: 0.15, Seed: 5, AlwaysUp: []int{0}},
+	}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			res, err := Run(inst, heuristics.Local, m, sim.Options{Seed: 9, IdlePatience: 25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatal("run incomplete")
+			}
+			if err := Validate(inst, res.Schedule, m); err != nil {
+				t.Fatalf("dynamic schedule invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunStaticMatchesPlainEngine(t *testing.T) {
+	inst := testInstance(t, 15, 8)
+	plain, err := sim.Run(inst, heuristics.Local, sim.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Run(inst, heuristics.Local, Static{}, sim.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Steps != dyn.Steps || plain.Moves != dyn.Moves {
+		t.Errorf("static dynamic run (%d,%d) differs from plain engine (%d,%d)",
+			dyn.Steps, dyn.Moves, plain.Steps, plain.Moves)
+	}
+}
+
+func TestRunDegradesUnderStress(t *testing.T) {
+	inst := testInstance(t, 20, 16)
+	base, err := Run(inst, heuristics.Local, Static{}, sim.Options{Seed: 6, IdlePatience: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressed, err := Run(inst, heuristics.Local, LinkFailure{P: 0.5, Seed: 6},
+		sim.Options{Seed: 6, IdlePatience: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stressed.Completed {
+		t.Fatal("stressed run incomplete")
+	}
+	if stressed.Steps < base.Steps {
+		t.Errorf("heavy link failure sped distribution up (%d < %d)", stressed.Steps, base.Steps)
+	}
+}
+
+func TestRunAdversaryStillCompletes(t *testing.T) {
+	inst := testInstance(t, 15, 8)
+	adv := NewAdversary(inst, 2)
+	res, err := Run(inst, heuristics.Local, adv, sim.Options{Seed: 8, IdlePatience: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("adversarial run incomplete")
+	}
+	// Validation replays the adversary deterministically.
+	fresh := NewAdversary(inst, 2)
+	if err := Validate(inst, res.Schedule, fresh); err != nil {
+		t.Fatalf("adversarial schedule failed replay validation: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	g, err := topology.Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 1)
+	// A schedule that is legal statically but illegal when the link fails
+	// every step.
+	sched := &core.Schedule{Steps: []core.Step{
+		{{From: 0, To: 1, Token: 0}},
+		{{From: 1, To: 2, Token: 0}},
+	}}
+	if err := Validate(inst, sched, Static{}); err != nil {
+		t.Fatalf("static validation failed: %v", err)
+	}
+	if err := Validate(inst, sched, LinkFailure{P: 1.0, Seed: 1}); err == nil {
+		t.Error("validation accepted moves over failed links")
+	}
+}

@@ -1,0 +1,187 @@
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"ocd/internal/core"
+	"ocd/internal/tokenset"
+)
+
+// SolveEOCD returns a successful schedule using the minimum number of moves
+// (the EOCD optimum) among schedules of length at most horizon. With
+// horizon ≥ the Theorem 1 bound m·(n−1) this is the unconstrained EOCD
+// optimum; smaller horizons explore the §3.4 time/bandwidth tradeoff (the
+// Figure 1 tension).
+//
+// The search branches per timestep over subsets of *useful and relevant*
+// moves: a move (u,v,t) is relevant only if some vertex that still needs t
+// is reachable from v (a static filter computed once per token). Cost is
+// bounded below by the §5.1 remaining-bandwidth count, and the incumbent
+// enables branch-and-bound pruning.
+func SolveEOCD(inst *core.Instance, horizon int, opts Options) (*core.Schedule, error) {
+	if err := inst.Check(); err != nil {
+		return nil, err
+	}
+	if !inst.Satisfiable() {
+		return nil, ErrUnsatisfiable
+	}
+	if horizon <= 0 {
+		horizon = inst.TheoremOneHorizon()
+	}
+	s := &eocdSearch{
+		inst:    inst,
+		budget:  opts.nodes(),
+		best:    nil,
+		memo:    make(map[memoKey]int),
+		relSink: relevanceSets(inst),
+	}
+	start := inst.InitialPossession()
+	if core.Done(inst, start) {
+		return &core.Schedule{}, nil
+	}
+	s.cur = &core.Schedule{}
+	if err := s.dfs(start, horizon, 0); err != nil {
+		return nil, err
+	}
+	if s.best == nil {
+		return nil, fmt.Errorf("%w within %d steps", ErrUnsatisfiable, horizon)
+	}
+	return s.best, nil
+}
+
+type memoKey struct {
+	hash uint64
+	left int
+}
+
+type eocdSearch struct {
+	inst    *core.Instance
+	budget  int
+	nodes   int
+	cur     *core.Schedule
+	best    *core.Schedule
+	bestLen int
+	// memo maps (possession, stepsLeft) → best cost-so-far seen; states
+	// revisited with equal or higher cost are pruned.
+	memo map[memoKey]int
+	// relSink[t] is the set of vertices from which some wanter of t is
+	// reachable: moves delivering t elsewhere can never help.
+	relSink []tokenset.Set
+}
+
+// relevanceSets computes, per token, the set of vertices that can still be
+// on a useful path: vertices from which at least one wanter of t is
+// reachable. (Bitsets indexed by vertex, reusing tokenset.Set.)
+func relevanceSets(inst *core.Instance) []tokenset.Set {
+	n := inst.N()
+	out := make([]tokenset.Set, inst.NumTokens)
+	for t := 0; t < inst.NumTokens; t++ {
+		set := tokenset.New(n)
+		var wanters []int
+		for v := 0; v < n; v++ {
+			if inst.Want[v].Has(t) {
+				wanters = append(wanters, v)
+			}
+		}
+		dist := inst.G.MultiSourceBFSTo(wanters)
+		for v := 0; v < n; v++ {
+			if dist[v] >= 0 {
+				set.Add(v)
+			}
+		}
+		out[t] = set
+	}
+	return out
+}
+
+func (s *eocdSearch) dfs(possess []tokenset.Set, left, cost int) error {
+	if core.Done(s.inst, possess) {
+		if s.best == nil || cost < s.bestLen {
+			s.best = s.cur.Clone()
+			s.bestLen = cost
+		}
+		return nil
+	}
+	if left == 0 {
+		return nil
+	}
+	s.nodes++
+	if s.nodes > s.budget {
+		return ErrBudget
+	}
+	lb := core.BandwidthLowerBound(s.inst, possess)
+	if s.best != nil && cost+lb >= s.bestLen {
+		return nil
+	}
+	key := memoKey{hash: possessionHash(possess), left: left}
+	if seen, ok := s.memo[key]; ok && seen <= cost {
+		return nil
+	}
+	s.memo[key] = cost
+
+	moves := s.usefulMoves(possess)
+	if len(moves) == 0 {
+		return nil
+	}
+	// Enumerate subsets of candidate moves respecting arc capacities,
+	// largest subsets first so a good incumbent is found early. Empty
+	// subsets are excluded: an idle step is never cheaper than skipping it.
+	subsets := capacitySubsets(s.inst, moves)
+	sort.Slice(subsets, func(i, j int) bool { return len(subsets[i]) > len(subsets[j]) })
+	for _, st := range subsets {
+		next := applyStep(possess, st)
+		s.cur.Append(st)
+		err := s.dfs(next, left-1, cost+len(st))
+		s.cur.Steps = s.cur.Steps[:len(s.cur.Steps)-1]
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// usefulMoves lists moves (u,v,t) where u has t, v lacks it, and v can
+// still forward t toward (or is itself) a wanter.
+func (s *eocdSearch) usefulMoves(possess []tokenset.Set) []core.Move {
+	var out []core.Move
+	for _, a := range s.inst.G.Arcs() {
+		useful := possess[a.From].Difference(possess[a.To])
+		useful.ForEach(func(t int) bool {
+			if s.relSink[t].Has(a.To) {
+				out = append(out, core.Move{From: a.From, To: a.To, Token: t})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// capacitySubsets enumerates every non-empty subset of moves that respects
+// per-arc capacities.
+func capacitySubsets(inst *core.Instance, moves []core.Move) []core.Step {
+	var out []core.Step
+	used := make(map[[2]int]int)
+	cur := make(core.Step, 0, len(moves))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(moves) {
+			if len(cur) > 0 {
+				out = append(out, append(core.Step(nil), cur...))
+			}
+			return
+		}
+		mv := moves[i]
+		key := [2]int{mv.From, mv.To}
+		if used[key] < inst.G.Cap(mv.From, mv.To) {
+			used[key]++
+			cur = append(cur, mv)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+			used[key]--
+		}
+		rec(i + 1)
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,227 @@
+// Package exact computes optimal solutions of the Overlay Content
+// Distribution problem for small graphs, the "simple algorithm … and a
+// branch-and-bound search strategy" the paper uses to calibrate its
+// heuristics (§1, §3).
+//
+// SolveFOCD finds a minimum-makespan schedule by iterative deepening over
+// the schedule length with memoized depth-first search; SolveEOCD finds a
+// minimum-bandwidth schedule within a timestep horizon by branch-and-bound
+// over per-step move subsets. Both are exponential — FOCD is NP-complete
+// (Theorem 3) — so both take a search-node budget and fail cleanly when it
+// is exhausted.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"ocd/internal/core"
+	"ocd/internal/tokenset"
+)
+
+// ErrBudget is returned when the search exceeds its node budget.
+var ErrBudget = errors.New("exact: search budget exhausted")
+
+// ErrUnsatisfiable is returned when no schedule can satisfy the instance.
+var ErrUnsatisfiable = errors.New("exact: instance is unsatisfiable")
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps the number of search nodes expanded (0 = 5e6).
+	MaxNodes int
+	// MaxSteps caps the makespan considered (0 = the Theorem 1 horizon).
+	MaxSteps int
+}
+
+func (o Options) nodes() int {
+	if o.MaxNodes <= 0 {
+		return 5_000_000
+	}
+	return o.MaxNodes
+}
+
+// ----------------------------------------------------------------------
+// FOCD: minimum makespan.
+
+// SolveFOCD returns a successful schedule of minimum length (the FOCD
+// optimum τ). It iteratively deepens on τ starting from the admissible
+// radius-closure lower bound; each depth-limited search enumerates only
+// maximal useful move sets (for makespan, possession is monotone: sending
+// strictly more useful tokens never delays completion).
+func SolveFOCD(inst *core.Instance, opts Options) (*core.Schedule, error) {
+	if err := inst.Check(); err != nil {
+		return nil, err
+	}
+	if !inst.Satisfiable() {
+		return nil, ErrUnsatisfiable
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = inst.TheoremOneHorizon()
+	}
+	s := &focdSearch{
+		inst:   inst,
+		budget: opts.nodes(),
+		memo:   make(map[uint64]int),
+	}
+	start := inst.InitialPossession()
+	if core.Done(inst, start) {
+		return &core.Schedule{}, nil
+	}
+	lb := core.MakespanLowerBound(inst, start)
+	if lb < 1 {
+		lb = 1
+	}
+	for tau := lb; tau <= maxSteps; tau++ {
+		s.sched = &core.Schedule{}
+		ok, err := s.dfs(start, tau)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return s.sched, nil
+		}
+		// Memo entries record failure at a given remaining depth; they stay
+		// valid across deepenings because we store the depth that failed.
+	}
+	return nil, fmt.Errorf("%w within %d steps", ErrUnsatisfiable, maxSteps)
+}
+
+type focdSearch struct {
+	inst   *core.Instance
+	budget int
+	nodes  int
+	// memo maps possession-hash → largest remaining-step count proven
+	// insufficient from that possession.
+	memo  map[uint64]int
+	sched *core.Schedule
+}
+
+func possessionHash(p []tokenset.Set) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range p {
+		h ^= s.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// dfs reports whether the instance completes within `left` further steps.
+func (s *focdSearch) dfs(possess []tokenset.Set, left int) (bool, error) {
+	if core.Done(s.inst, possess) {
+		return true, nil
+	}
+	if left == 0 {
+		return false, nil
+	}
+	s.nodes++
+	if s.nodes > s.budget {
+		return false, ErrBudget
+	}
+	if core.MakespanLowerBound(s.inst, possess) > left {
+		return false, nil
+	}
+	key := possessionHash(possess)
+	if failed, ok := s.memo[key]; ok && failed >= left {
+		return false, nil
+	}
+
+	steps := enumerateMaximalSteps(s.inst, possess)
+	for _, st := range steps {
+		next := applyStep(possess, st)
+		s.sched.Append(st)
+		ok, err := s.dfs(next, left-1)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		s.sched.Steps = s.sched.Steps[:len(s.sched.Steps)-1]
+	}
+	if prev, ok := s.memo[key]; !ok || left > prev {
+		s.memo[key] = left
+	}
+	return false, nil
+}
+
+func applyStep(possess []tokenset.Set, st core.Step) []tokenset.Set {
+	next := make([]tokenset.Set, len(possess))
+	for v := range possess {
+		next[v] = possess[v].Clone()
+	}
+	for _, mv := range st {
+		next[mv.To].Add(mv.Token)
+	}
+	return next
+}
+
+// enumerateMaximalSteps lists the candidate move sets for one timestep: for
+// every arc, all ways to pick min(cap, |useful|) tokens from the useful set
+// (useful = tokens the sender has and the receiver lacks), crossed over
+// arcs. Arcs with |useful| ≤ cap contribute exactly one (forced) choice.
+func enumerateMaximalSteps(inst *core.Instance, possess []tokenset.Set) []core.Step {
+	type arcChoice struct {
+		from, to int
+		options  [][]int
+	}
+	var choices []arcChoice
+	var forced core.Step
+	for _, a := range inst.G.Arcs() {
+		useful := possess[a.From].Difference(possess[a.To]).Slice()
+		if len(useful) == 0 {
+			continue
+		}
+		if len(useful) <= a.Cap {
+			for _, t := range useful {
+				forced = append(forced, core.Move{From: a.From, To: a.To, Token: t})
+			}
+			continue
+		}
+		choices = append(choices, arcChoice{
+			from:    a.From,
+			to:      a.To,
+			options: combinations(useful, a.Cap),
+		})
+	}
+
+	if len(forced) == 0 && len(choices) == 0 {
+		return nil // no useful move exists; the search node is a dead end
+	}
+	steps := []core.Step{forced}
+	for _, c := range choices {
+		var grown []core.Step
+		for _, base := range steps {
+			for _, opt := range c.options {
+				st := make(core.Step, len(base), len(base)+len(opt))
+				copy(st, base)
+				for _, t := range opt {
+					st = append(st, core.Move{From: c.from, To: c.to, Token: t})
+				}
+				grown = append(grown, st)
+			}
+		}
+		steps = grown
+	}
+	return steps
+}
+
+// combinations returns all k-subsets of items.
+func combinations(items []int, k int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i <= len(items)-(k-len(cur)); i++ {
+			cur = append(cur, items[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/exact"
+	"ocd/internal/flow"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+)
+
+// BoundsQuality delivers the paper's §1 promise to "calculate bounds (not
+// necessarily tight) to provide a rough notion of the quality of our local
+// and global heuristics": on random small instances where the exact optima
+// are computable, it reports each heuristic's makespan and pruned
+// bandwidth as ratios to the certified optimum, alongside the §5.1 lower
+// bounds' own tightness.
+func BoundsQuality(instances, n, m int, seed int64) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("heuristic quality vs certified optima (%d random instances, n=%d, m=%d)",
+			instances, n, m),
+		Columns: []string{"instance", "heuristic", "moves/opt", "bw/opt",
+			"movesLB/opt", "flowLB/opt", "bwLB/opt"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < instances; i++ {
+		inst := randomTinyInstance(rng, n, m)
+		fast, err := exact.SolveFOCD(inst, exact.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("instance %d focd: %w", i, err)
+		}
+		cheap, err := exact.SolveEOCD(inst, 0, exact.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("instance %d eocd: %w", i, err)
+		}
+		optSteps, optBW := fast.Makespan(), cheap.Moves()
+		stepLB := core.MakespanLowerBound(inst, nil)
+		flowLB, err := flow.FlowMakespanLowerBound(inst)
+		if err != nil {
+			return nil, fmt.Errorf("instance %d flow bound: %w", i, err)
+		}
+		bwLB := core.BandwidthLowerBound(inst, nil)
+		for h, factory := range heuristics.All() {
+			res, err := sim.Run(inst, factory, sim.Options{Seed: seed + int64(i), Prune: true})
+			if err != nil || !res.Completed {
+				t.AddRow(i, heuristics.Names()[h], "-", "-", "-", "-", "-")
+				continue
+			}
+			t.AddRow(i, heuristics.Names()[h],
+				ratio(res.Steps, optSteps), ratio(res.PrunedMoves, optBW),
+				ratio(stepLB, optSteps), ratio(flowLB, optSteps), ratio(bwLB, optBW))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"ratios are to the certified optimum: 1.00 is optimal; lower-bound ratios below 1.00 measure bound looseness")
+	return t, nil
+}
+
+func ratio(x, opt int) string {
+	if opt == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(x)/float64(opt))
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ocd/internal/topology"
+)
+
+func smallSweep(kind GraphKind) SweepConfig {
+	return SweepConfig{
+		Kind:       kind,
+		Tokens:     16,
+		Caps:       topology.DefaultCaps,
+		GraphSeeds: 1,
+		Repeats:    1,
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"hello"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	ascii := tab.ASCII()
+	for _, want := range []string{"== demo ==", "a", "bb", "2.5", "note: hello"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, ascii)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "1,2.5\n") {
+		t.Errorf("CSV malformed:\n%s", csv)
+	}
+}
+
+func TestGraphSizeSmall(t *testing.T) {
+	for _, kind := range []GraphKind{RandomGraph, TransitStubGraph} {
+		tab, err := GraphSize(smallSweep(kind), []int{12, 20})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		// 2 sizes × 5 heuristics.
+		if len(tab.Rows) != 10 {
+			t.Errorf("%v: %d rows, want 10", kind, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			if row[len(row)-1] != "0" {
+				t.Errorf("%v: failures recorded in row %v", kind, row)
+			}
+		}
+	}
+}
+
+func TestGraphSizeUnknownHeuristic(t *testing.T) {
+	cfg := smallSweep(RandomGraph)
+	cfg.Heuristics = []string{"nope"}
+	if _, err := GraphSize(cfg, []int{10}); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestReceiverDensitySmall(t *testing.T) {
+	cfg := smallSweep(RandomGraph)
+	cfg.Heuristics = []string{"random", "bandwidth"}
+	tab, err := ReceiverDensity(cfg, 15, []float64{0.2, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("%d rows, want 4", len(tab.Rows))
+	}
+}
+
+func TestNumFilesSmall(t *testing.T) {
+	cfg := smallSweep(RandomGraph)
+	cfg.Heuristics = []string{"local", "bandwidth"}
+	for _, multi := range []bool{false, true} {
+		tab, err := NumFiles(cfg, 17, []int{1, 4}, multi)
+		if err != nil {
+			t.Fatalf("multi=%v: %v", multi, err)
+		}
+		if len(tab.Rows) != 4 {
+			t.Errorf("multi=%v: %d rows, want 4", multi, len(tab.Rows))
+		}
+	}
+}
+
+func TestFigure1ExactNumbers(t *testing.T) {
+	tab, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotFast, gotCheap bool
+	for _, row := range tab.Rows {
+		if row[0] == "min time" && row[2] == "2" && row[3] == "6" {
+			gotFast = true
+		}
+		if row[0] == "min bandwidth" && row[2] == "3" && row[3] == "4" {
+			gotCheap = true
+		}
+	}
+	if !gotFast || !gotCheap {
+		t.Errorf("Figure 1 optima not reproduced:\n%s", tab.ASCII())
+	}
+}
+
+func TestFigure7AllAgree(t *testing.T) {
+	tab, err := Figure7(2, 5, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2*6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("reduction disagreement in row %v", row)
+		}
+	}
+}
+
+func TestTheorem4Monotone(t *testing.T) {
+	tab, err := Theorem4(1, []int{1, 4, 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	prev := ""
+	for _, row := range tab.Rows {
+		if prev != "" && row[2] <= prev {
+			// string compare is fine: zero-padded? No — compare lengths
+			// first to be safe.
+			if len(row[2]) < len(prev) || (len(row[2]) == len(prev) && row[2] <= prev) {
+				t.Errorf("online makespan not growing: %s after %s", row[2], prev)
+			}
+		}
+		prev = row[2]
+	}
+}
+
+func TestOracleAdditiveSmall(t *testing.T) {
+	tab, err := OracleAdditive([]int{15}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("oracle exceeded additive diameter: %v", row)
+		}
+	}
+}
+
+func TestILPvsBnBAgree(t *testing.T) {
+	tab, err := ILPvsBnB(3, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("solver disagreement: %v", row)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+	"ocd/internal/stats"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+// GraphKind selects the topology family of §5.2.
+type GraphKind int
+
+const (
+	// RandomGraph is the Erdős–Rényi G(n, 2·ln n/n) family.
+	RandomGraph GraphKind = iota + 1
+	// TransitStubGraph is the GT-ITM-style hierarchical family.
+	TransitStubGraph
+)
+
+func (k GraphKind) String() string {
+	if k == TransitStubGraph {
+		return "transit-stub"
+	}
+	return "random"
+}
+
+// SweepConfig configures the §5.2/§5.3 heuristic sweeps.
+type SweepConfig struct {
+	// Kind selects the topology family.
+	Kind GraphKind
+	// Tokens is the number of tokens in the (initial) file.
+	Tokens int
+	// Caps is the capacity range (paper: 3..15).
+	Caps topology.CapRange
+	// GraphSeeds is the number of graph instances per sweep point.
+	GraphSeeds int
+	// Repeats is the number of heuristic repetitions per graph (paper: 3).
+	Repeats int
+	// Heuristics restricts the strategies (nil = all five).
+	Heuristics []string
+	// MaxSteps bounds each run (0 = Theorem 1 horizon).
+	MaxSteps int
+	// BaseSeed decorrelates repeated invocations.
+	BaseSeed int64
+}
+
+// DefaultSweep mirrors the paper's settings: 200-token file, capacities
+// U[3,15], several graph instances, three repeats.
+func DefaultSweep(kind GraphKind) SweepConfig {
+	return SweepConfig{
+		Kind:       kind,
+		Tokens:     200,
+		Caps:       topology.DefaultCaps,
+		GraphSeeds: 3,
+		Repeats:    3,
+	}
+}
+
+func (c SweepConfig) factories() ([]string, []sim.Factory, error) {
+	names := c.Heuristics
+	if len(names) == 0 {
+		names = heuristics.Names()
+	}
+	fs := make([]sim.Factory, len(names))
+	for i, name := range names {
+		f, ok := heuristics.Named(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: unknown heuristic %q", name)
+		}
+		fs[i] = f
+	}
+	return names, fs, nil
+}
+
+func (c SweepConfig) graph(n int, seed int64) (*graph.Graph, error) {
+	if c.Kind == TransitStubGraph {
+		return topology.TransitStubN(n, c.Caps, seed)
+	}
+	return topology.Random(n, c.Caps, seed)
+}
+
+// point aggregates the runs of one heuristic at one sweep point.
+type point struct {
+	steps    []int
+	bw       []int
+	pruned   []int
+	failures int
+}
+
+// runPoint executes all repeats of every heuristic on the instances
+// produced by build (one per graph seed) and returns per-heuristic
+// aggregates plus the mean lower bounds.
+func (c SweepConfig) runPoint(build func(seed int64) (*core.Instance, error)) (map[string]*point, stats.Summary, stats.Summary, error) {
+	names, fs, err := c.factories()
+	if err != nil {
+		return nil, stats.Summary{}, stats.Summary{}, err
+	}
+	points := make(map[string]*point, len(names))
+	for _, name := range names {
+		points[name] = &point{}
+	}
+	var stepLBs, bwLBs []int
+	for gs := 0; gs < c.GraphSeeds; gs++ {
+		inst, err := build(c.BaseSeed + int64(gs))
+		if err != nil {
+			return nil, stats.Summary{}, stats.Summary{}, err
+		}
+		stepLBs = append(stepLBs, core.MakespanLowerBound(inst, nil))
+		bwLBs = append(bwLBs, core.BandwidthLowerBound(inst, nil))
+		for i, f := range fs {
+			p := points[names[i]]
+			for r := 0; r < c.Repeats; r++ {
+				res, err := sim.Run(inst, f, sim.Options{
+					MaxSteps: c.MaxSteps,
+					Seed:     c.BaseSeed + int64(gs*1000+r),
+					Prune:    true,
+				})
+				if err != nil || !res.Completed {
+					p.failures++
+					continue
+				}
+				p.steps = append(p.steps, res.Steps)
+				p.bw = append(p.bw, res.Moves)
+				p.pruned = append(p.pruned, res.PrunedMoves)
+			}
+		}
+	}
+	return points, stats.SummarizeInts(stepLBs), stats.SummarizeInts(bwLBs), nil
+}
+
+// GraphSize reproduces Figures 2 and 3: single source distributing one
+// file to all receivers, sweeping the graph size. Columns report the
+// paper's two metrics — "moves" (turns/makespan) and bandwidth — plus the
+// pruned bandwidth and the two §5.1 lower bounds.
+func GraphSize(c SweepConfig, sizes []int) (*Table, error) {
+	title := fmt.Sprintf("Figure 2 (%s): moves and bandwidth vs graph size", c.Kind)
+	if c.Kind == TransitStubGraph {
+		title = fmt.Sprintf("Figure 3 (%s): moves and bandwidth vs graph size", c.Kind)
+	}
+	t := &Table{
+		Title: title,
+		Columns: []string{"n", "heuristic", "moves", "bandwidth", "pruned-bw",
+			"movesLB", "bwLB", "fails"},
+	}
+	for _, n := range sizes {
+		points, stepLB, bwLB, err := c.runPoint(func(seed int64) (*core.Instance, error) {
+			g, err := c.graph(n, seed)
+			if err != nil {
+				return nil, err
+			}
+			return workload.SingleFile(g, c.Tokens), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		names, _, _ := c.factories()
+		for _, name := range names {
+			p := points[name]
+			t.AddRow(n, name,
+				stats.SummarizeInts(p.steps).Mean,
+				stats.SummarizeInts(p.bw).Mean,
+				stats.SummarizeInts(p.pruned).Mean,
+				stepLB.Mean, bwLB.Mean, p.failures)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: moves (turns) do not correlate with n; bandwidth grows roughly linearly with n",
+		"paper: round robin completes but is much slower; random stays within a constant factor of the smarter heuristics")
+	return t, nil
+}
+
+// ReceiverDensity reproduces Figure 4: single source, 200 tokens, sweeping
+// the want-set score threshold on a fixed-size graph.
+func ReceiverDensity(c SweepConfig, n int, thresholds []float64) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 4 (%s, n=%d): moves and bandwidth vs receiver density", c.Kind, n),
+		Columns: []string{"threshold", "heuristic", "moves", "bandwidth", "pruned-bw",
+			"movesLB", "bwLB", "fails"},
+	}
+	for _, th := range thresholds {
+		th := th
+		points, stepLB, bwLB, err := c.runPoint(func(seed int64) (*core.Instance, error) {
+			g, err := c.graph(n, seed)
+			if err != nil {
+				return nil, err
+			}
+			return workload.ReceiverDensity(g, c.Tokens, th, seed+7919), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		names, _, _ := c.factories()
+		for _, name := range names {
+			p := points[name]
+			t.AddRow(fmt.Sprintf("%.2f", th), name,
+				stats.SummarizeInts(p.steps).Mean,
+				stats.SummarizeInts(p.bw).Mean,
+				stats.SummarizeInts(p.pruned).Mean,
+				stepLB.Mean, bwLB.Mean, p.failures)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: flooding heuristics consume near-constant bandwidth regardless of density",
+		"paper: the bandwidth heuristic is slightly slower but uses far less bandwidth at low densities",
+		"paper: pruned bandwidth of the flooding heuristics is roughly optimal")
+	return t, nil
+}
+
+// NumFiles reproduces Figures 5 and 6: a fixed token mass subdivided into
+// 1..maxFiles files wanted by disjoint vertex groups, sourced at a single
+// vertex (multiSender=false, Figure 5) or at random non-wanting vertices
+// (multiSender=true, Figure 6).
+func NumFiles(c SweepConfig, n int, fileCounts []int, multiSender bool) (*Table, error) {
+	fig := "Figure 5 (single source)"
+	if multiSender {
+		fig = "Figure 6 (multiple senders)"
+	}
+	t := &Table{
+		Title: fmt.Sprintf("%s (%s, n=%d, %d tokens): moves and bandwidth vs number of files", fig, c.Kind, n, c.Tokens),
+		Columns: []string{"files", "heuristic", "moves", "bandwidth", "pruned-bw",
+			"movesLB", "bwLB", "fails"},
+	}
+	for _, files := range fileCounts {
+		files := files
+		points, stepLB, bwLB, err := c.runPoint(func(seed int64) (*core.Instance, error) {
+			g, err := c.graph(n, seed)
+			if err != nil {
+				return nil, err
+			}
+			if multiSender {
+				return workload.MultiSender(g, c.Tokens, files, seed+104729)
+			}
+			return workload.MultiFile(g, c.Tokens, files)
+		})
+		if err != nil {
+			return nil, err
+		}
+		names, _, _ := c.factories()
+		for _, name := range names {
+			p := points[name]
+			t.AddRow(files, name,
+				stats.SummarizeInts(p.steps).Mean,
+				stats.SummarizeInts(p.bw).Mean,
+				stats.SummarizeInts(p.pruned).Mean,
+				stepLB.Mean, bwLB.Mean, p.failures)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: after an initial descent, flooding heuristics level off regardless of subdivision",
+		"paper: only the bandwidth heuristic improves as wants become more constrained, tracking the lower bound and the pruned flooding bandwidth")
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ocd/internal/competitive"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+// Theorem4 demonstrates that no c-competitive online algorithm exists for
+// FOCD: on the adversarial family (a path whose far endpoint wants one of
+// m tokens), the worst-case makespan of the knowledge-free online
+// algorithm grows linearly in the number of decoy tokens while the offline
+// optimum stays at the path length, so the ratio is unbounded.
+func Theorem4(pathLen int, decoySweep []int, capacity int) (*Table, error) {
+	t := &Table{
+		Title:   "Theorem 4: unbounded competitive ratio on the adversarial family",
+		Columns: []string{"decoys", "path", "online-makespan", "offline-optimum", "ratio"},
+	}
+	for _, d := range decoySweep {
+		pt, err := competitive.WorstCaseRatio(pathLen, d+1, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("theorem4 decoys=%d: %w", d, err)
+		}
+		t.AddRow(pt.Decoys, pt.PathLen, pt.Online, pt.Offline, fmt.Sprintf("%.2f", pt.Ratio))
+	}
+	t.Notes = append(t.Notes,
+		"Theorem 4: the ratio grows without bound in the decoy count, so no fixed c suffices")
+	return t, nil
+}
+
+// OracleAdditive demonstrates the §4.2 upper bound: an online algorithm
+// that first lets knowledge propagate for diameter steps and then follows
+// a globally planned schedule finishes within an additive diameter of that
+// plan. Measured on random graphs with a single-file workload.
+func OracleAdditive(sizes []int, tokens int, seed int64) (*Table, error) {
+	t := &Table{
+		Title:   "§4.2: propagate-then-plan oracle is within an additive diameter",
+		Columns: []string{"n", "diameter", "oracle-makespan", "planned-makespan", "additive-gap", "within-diameter"},
+	}
+	for _, n := range sizes {
+		g, err := topology.Random(n, topology.DefaultCaps, seed)
+		if err != nil {
+			return nil, err
+		}
+		inst := workload.SingleFile(g, tokens)
+		planned, err := sim.Run(inst, heuristics.Global, sim.Options{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("oracle additive n=%d planned: %w", n, err)
+		}
+		oracle, err := competitive.RunOracle(inst, heuristics.Global, seed)
+		if err != nil {
+			return nil, fmt.Errorf("oracle additive n=%d oracle: %w", n, err)
+		}
+		diam := g.Diameter()
+		gap := oracle.Steps - planned.Steps
+		t.AddRow(n, diam, oracle.Steps, planned.Steps, gap, gap <= diam)
+	}
+	return t, nil
+}

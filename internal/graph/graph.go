@@ -1,0 +1,326 @@
+// Package graph implements the simple weighted directed graphs over which
+// the Overlay Content Distribution problem is defined (paper §3.1).
+//
+// Arc weights are capacities: the number of tokens that can cross the arc in
+// a single timestep. Multi-arcs are merged by summing capacities, as the
+// paper permits. The package also provides the reachability machinery the
+// heuristics and lower bounds need: BFS distance fields, all-pairs
+// distances, diameter, and radius closures.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Arc is a directed capacitated edge.
+type Arc struct {
+	From int
+	To   int
+	Cap  int
+}
+
+// Graph is a simple directed graph with integer arc capacities.
+// Construct with New and AddArc; the accessor methods are read-only and
+// safe for concurrent use once construction is complete.
+type Graph struct {
+	n    int
+	out  [][]Arc
+	in   [][]Arc
+	caps map[[2]int]int
+	arcs int
+}
+
+// ErrVertexRange indicates an arc endpoint outside [0, n).
+var ErrVertexRange = errors.New("graph: vertex out of range")
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:    n,
+		out:  make([][]Arc, n),
+		in:   make([][]Arc, n),
+		caps: make(map[[2]int]int),
+	}
+}
+
+// AddArc inserts the directed arc u→v with the given capacity. Adding an arc
+// that already exists merges capacities by summation (multi-arc rule, §3.1).
+// Self-loops and non-positive capacities are rejected.
+func (g *Graph) AddArc(u, v, capacity int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop (%d,%d) not allowed", u, v)
+	}
+	if capacity <= 0 {
+		return fmt.Errorf("graph: capacity %d on (%d,%d) must be positive", capacity, u, v)
+	}
+	key := [2]int{u, v}
+	if old, ok := g.caps[key]; ok {
+		g.caps[key] = old + capacity
+		g.setListCap(u, v, old+capacity)
+		return nil
+	}
+	g.caps[key] = capacity
+	g.out[u] = append(g.out[u], Arc{From: u, To: v, Cap: capacity})
+	g.in[v] = append(g.in[v], Arc{From: u, To: v, Cap: capacity})
+	g.arcs++
+	return nil
+}
+
+// AddEdge inserts both u→v and v→u with the same capacity.
+func (g *Graph) AddEdge(u, v, capacity int) error {
+	if err := g.AddArc(u, v, capacity); err != nil {
+		return err
+	}
+	return g.AddArc(v, u, capacity)
+}
+
+func (g *Graph) setListCap(u, v, capacity int) {
+	for i := range g.out[u] {
+		if g.out[u][i].To == v {
+			g.out[u][i].Cap = capacity
+			break
+		}
+	}
+	for i := range g.in[v] {
+		if g.in[v][i].From == u {
+			g.in[v][i].Cap = capacity
+			break
+		}
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// NumArcs returns the number of distinct directed arcs.
+func (g *Graph) NumArcs() int { return g.arcs }
+
+// Cap returns the capacity of arc u→v, or 0 if the arc does not exist.
+func (g *Graph) Cap(u, v int) int { return g.caps[[2]int{u, v}] }
+
+// HasArc reports whether the arc u→v exists.
+func (g *Graph) HasArc(u, v int) bool {
+	_, ok := g.caps[[2]int{u, v}]
+	return ok
+}
+
+// Out returns the outgoing arcs of u. The returned slice must not be
+// modified.
+func (g *Graph) Out(u int) []Arc { return g.out[u] }
+
+// In returns the incoming arcs of v. The returned slice must not be
+// modified.
+func (g *Graph) In(v int) []Arc { return g.in[v] }
+
+// OutDegree returns the number of outgoing arcs of u.
+func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the number of incoming arcs of v.
+func (g *Graph) InDegree(v int) int { return len(g.in[v]) }
+
+// InCapacity returns the total capacity of arcs entering v.
+func (g *Graph) InCapacity(v int) int {
+	total := 0
+	for _, a := range g.in[v] {
+		total += a.Cap
+	}
+	return total
+}
+
+// OutCapacity returns the total capacity of arcs leaving u.
+func (g *Graph) OutCapacity(u int) int {
+	total := 0
+	for _, a := range g.out[u] {
+		total += a.Cap
+	}
+	return total
+}
+
+// Arcs returns all arcs sorted by (From, To). The slice is freshly
+// allocated.
+func (g *Graph) Arcs() []Arc {
+	arcs := make([]Arc, 0, g.arcs)
+	for u := 0; u < g.n; u++ {
+		arcs = append(arcs, g.out[u]...)
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	return arcs
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, a := range g.Arcs() {
+		_ = c.AddArc(a.From, a.To, a.Cap) // valid arcs by construction
+	}
+	return c
+}
+
+// BFSFrom returns the hop distance from src to every vertex following arc
+// direction; unreachable vertices get -1.
+func (g *Graph) BFSFrom(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.out[u] {
+			if dist[a.To] == -1 {
+				dist[a.To] = dist[u] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSTo returns the hop distance from every vertex to dst following arc
+// direction (i.e. BFS over reversed arcs); unreachable vertices get -1.
+func (g *Graph) BFSTo(dst int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if dst < 0 || dst >= g.n {
+		return dist
+	}
+	dist[dst] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, dst)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.in[v] {
+			if dist[a.From] == -1 {
+				dist[a.From] = dist[v] + 1
+				queue = append(queue, a.From)
+			}
+		}
+	}
+	return dist
+}
+
+// MultiSourceBFSTo returns, for every vertex v, the hop distance from v to
+// the nearest vertex in targets (following arc direction). Unreachable
+// vertices get -1.
+func (g *Graph) MultiSourceBFSTo(targets []int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	for _, t := range targets {
+		if t >= 0 && t < g.n && dist[t] == -1 {
+			dist[t] = 0
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.in[v] {
+			if dist[a.From] == -1 {
+				dist[a.From] = dist[v] + 1
+				queue = append(queue, a.From)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairs returns the full hop-distance matrix d[u][v]; -1 marks
+// unreachable pairs. O(n·(n+m)).
+func (g *Graph) AllPairs() [][]int {
+	d := make([][]int, g.n)
+	for u := 0; u < g.n; u++ {
+		d[u] = g.BFSFrom(u)
+	}
+	return d
+}
+
+// Diameter returns the longest finite shortest-path distance in the graph;
+// if any ordered pair is unreachable it returns -1.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		dist := g.BFSFrom(u)
+		for v, dv := range dist {
+			if v == u {
+				continue
+			}
+			if dv == -1 {
+				return -1
+			}
+			if dv > diam {
+				diam = dv
+			}
+		}
+	}
+	return diam
+}
+
+// StronglyConnected reports whether every vertex can reach every other
+// vertex following arc directions.
+func (g *Graph) StronglyConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	for _, dv := range g.BFSFrom(0) {
+		if dv == -1 {
+			return false
+		}
+	}
+	for _, dv := range g.BFSTo(0) {
+		if dv == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// InClosure returns the set of vertices u with dist(u → v) ≤ radius, i.e.
+// the vertices whose tokens could reach v within radius timesteps ignoring
+// capacities. Used by the radius move lower bound (§5.1).
+func (g *Graph) InClosure(v, radius int) []int {
+	dist := g.BFSTo(v)
+	closure := make([]int, 0, g.n)
+	for u, du := range dist {
+		if du >= 0 && du <= radius {
+			closure = append(closure, u)
+		}
+	}
+	return closure
+}
+
+// DOT renders the graph in Graphviz DOT format with capacities as labels.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for _, a := range g.Arcs() {
+		fmt.Fprintf(&b, "  %d -> %d [label=%d];\n", a.From, a.To, a.Cap)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

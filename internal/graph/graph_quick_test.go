@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// arcSpec is a generatable arc description for property tests.
+type arcSpec struct {
+	U, V uint8
+	Cap  uint8
+}
+
+// buildFromSpecs inserts the valid specs into a graph and a reference map
+// model, returning both.
+func buildFromSpecs(n int, specs []arcSpec) (*Graph, map[[2]int]int) {
+	g := New(n)
+	ref := make(map[[2]int]int)
+	for _, s := range specs {
+		u, v, c := int(s.U)%n, int(s.V)%n, int(s.Cap%9)+1
+		if u == v {
+			continue
+		}
+		if err := g.AddArc(u, v, c); err != nil {
+			continue
+		}
+		ref[[2]int{u, v}] += c
+	}
+	return g, ref
+}
+
+func TestQuickAdjacencyMatchesModel(t *testing.T) {
+	f := func(specs []arcSpec) bool {
+		const n = 12
+		g, ref := buildFromSpecs(n, specs)
+		if g.NumArcs() != len(ref) {
+			return false
+		}
+		for key, c := range ref {
+			if g.Cap(key[0], key[1]) != c {
+				return false
+			}
+		}
+		// Out/In lists agree with the map in both directions.
+		outCount, inCount := 0, 0
+		for v := 0; v < n; v++ {
+			outCount += g.OutDegree(v)
+			inCount += g.InDegree(v)
+			for _, a := range g.Out(v) {
+				if ref[[2]int{a.From, a.To}] != a.Cap {
+					return false
+				}
+			}
+			for _, a := range g.In(v) {
+				if ref[[2]int{a.From, a.To}] != a.Cap {
+					return false
+				}
+			}
+		}
+		return outCount == len(ref) && inCount == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBFSTriangleInequality(t *testing.T) {
+	f := func(specs []arcSpec) bool {
+		const n = 10
+		g, _ := buildFromSpecs(n, specs)
+		d := g.AllPairs()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				for w := 0; w < n; w++ {
+					if d[u][v] < 0 || d[v][w] < 0 {
+						continue
+					}
+					if d[u][w] == -1 || d[u][w] > d[u][v]+d[v][w] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBFSToMirrorsBFSFrom(t *testing.T) {
+	// dist(u→v) computed forward must equal dist computed backward.
+	f := func(specs []arcSpec) bool {
+		const n = 10
+		g, _ := buildFromSpecs(n, specs)
+		for v := 0; v < n; v++ {
+			back := g.BFSTo(v)
+			for u := 0; u < n; u++ {
+				if g.BFSFrom(u)[v] != back[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneEquivalent(t *testing.T) {
+	f := func(specs []arcSpec) bool {
+		const n = 8
+		g, _ := buildFromSpecs(n, specs)
+		c := g.Clone()
+		if c.NumArcs() != g.NumArcs() {
+			return false
+		}
+		for _, a := range g.Arcs() {
+			if c.Cap(a.From, a.To) != a.Cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

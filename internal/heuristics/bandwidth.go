@@ -1,0 +1,138 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+)
+
+// Bandwidth builds the §5.1 bandwidth-conserving heuristic: an online
+// strategy, albeit with global knowledge, that "more cautiously adds tokens
+// to a move". A vertex obtains a token in the next turn only if it will
+// eventually use it, meaning either
+//
+//  1. it needs (wants and lacks) the token, or
+//  2. it is the closest one-hop-knowledge vertex to a node that needs it,
+//     where a one-hop-knowledge vertex for token t is one that could obtain
+//     t in a single turn (it lacks t but has an in-neighbor possessing it).
+//
+// "Closest" is resolved with one labeled multi-source BFS per token per
+// turn (every one-hop vertex floods forward; each needer adopts the first
+// one-hop vertex to reach it), keeping the per-turn cost at
+// O(tokens · (n + arcs)) so the heuristic scales to the paper's
+// 1000-vertex sweeps.
+var Bandwidth sim.Factory = newBandwidth
+
+type bandwidthStrategy struct {
+	// Scratch buffers reused across turns.
+	dist  []int
+	label []int
+	queue []int
+}
+
+func newBandwidth(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	n := inst.N()
+	return &bandwidthStrategy{
+		dist:  make([]int, n),
+		label: make([]int, n),
+		queue: make([]int, 0, n),
+	}, nil
+}
+
+func (b *bandwidthStrategy) Name() string { return "bandwidth" }
+
+func (b *bandwidthStrategy) Plan(st *sim.State) []core.Move {
+	inst := st.Inst
+	n := inst.N()
+	rem := newResidual(inst)
+	var moves []core.Move
+
+	type request struct{ v, t int }
+	var requests []request
+	seen := make(map[[2]int]bool)
+
+	for t := 0; t < inst.NumTokens; t++ {
+		// Needers: vertices that want t and lack it.
+		var needers []int
+		for v := 0; v < n; v++ {
+			if inst.Want[v].Has(t) && !st.Possess[v].Has(t) {
+				needers = append(needers, v)
+			}
+		}
+		if len(needers) == 0 {
+			continue
+		}
+		// One-hop-knowledge vertices for t.
+		var oneHop []int
+		for v := 0; v < n; v++ {
+			if st.Possess[v].Has(t) {
+				continue
+			}
+			for _, a := range inst.G.In(v) {
+				if st.Possess[a.From].Has(t) {
+					oneHop = append(oneHop, v)
+					break
+				}
+			}
+		}
+		if len(oneHop) == 0 {
+			continue
+		}
+		// Labeled multi-source BFS: label[d] = the one-hop vertex that
+		// reaches needer d first (sources seeded in ascending ID order, so
+		// distance ties break toward lower IDs deterministically).
+		for v := 0; v < n; v++ {
+			b.dist[v] = -1
+			b.label[v] = -1
+		}
+		b.queue = b.queue[:0]
+		for _, v := range oneHop {
+			b.dist[v] = 0
+			b.label[v] = v
+			b.queue = append(b.queue, v)
+		}
+		for head := 0; head < len(b.queue); head++ {
+			u := b.queue[head]
+			for _, a := range inst.G.Out(u) {
+				if b.dist[a.To] == -1 {
+					b.dist[a.To] = b.dist[u] + 1
+					b.label[a.To] = b.label[u]
+					b.queue = append(b.queue, a.To)
+				}
+			}
+		}
+		for _, d := range needers {
+			target := b.label[d] // d itself if one-hop (dist 0), else its closest one-hop vertex
+			if target == -1 {
+				continue // no one-hop vertex reaches this needer yet
+			}
+			key := [2]int{target, t}
+			if !seen[key] {
+				seen[key] = true
+				requests = append(requests, request{v: target, t: t})
+			}
+		}
+	}
+
+	// Assign each (vertex, token) request to a holder in-neighbor with
+	// residual capacity, preferring the neighbor with the most spare
+	// capacity so rare slots are saved for constrained arcs.
+	for _, rq := range requests {
+		best, bestLeft := -1, 0
+		for _, a := range inst.G.In(rq.v) {
+			if !st.Possess[a.From].Has(rq.t) {
+				continue
+			}
+			if l := rem.left(a.From, rq.v); l > bestLeft {
+				best, bestLeft = a.From, l
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		rem.take(best, rq.v)
+		moves = append(moves, core.Move{From: best, To: rq.v, Token: rq.t})
+	}
+	return moves
+}

@@ -1,0 +1,98 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+	"ocd/internal/tokenset"
+)
+
+// LocalDelayed builds the §5.1 relaxation of the Local heuristic in which
+// peers know each other's state as of `delay` turns ago instead of the
+// current turn ("further exploration may also relax this requirement,
+// instead allowing peers to know about the state 'k' turns ago").
+//
+// Possession is monotone, so a stale view is always a subset of the truth:
+// requests planned from it remain valid, but rarity estimates lag and
+// deliveries may duplicate what a peer already obtained meanwhile — the
+// cost of stale knowledge that the delay ablation measures.
+func LocalDelayed(delay int) sim.Factory {
+	return func(_ *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+		if delay < 0 {
+			delay = 0
+		}
+		return &localDelayed{delay: delay}, nil
+	}
+}
+
+type localDelayed struct {
+	delay   int
+	history [][]tokenset.Set
+}
+
+func (l *localDelayed) Name() string {
+	if l.delay == 0 {
+		return "local"
+	}
+	return "local-delayed"
+}
+
+func (l *localDelayed) Plan(st *sim.State) []core.Move {
+	// Record the current truth, then plan from the view `delay` turns old.
+	snapshot := make([]tokenset.Set, len(st.Possess))
+	for v := range st.Possess {
+		snapshot[v] = st.Possess[v].Clone()
+	}
+	l.history = append(l.history, snapshot)
+	idx := len(l.history) - 1 - l.delay
+	if idx < 0 {
+		idx = 0
+	}
+	view := l.history[idx]
+
+	counts := make([]int, st.Inst.NumTokens)
+	for v := range view {
+		view[v].ForEach(func(t int) bool {
+			counts[t]++
+			return true
+		})
+	}
+
+	rem := newResidual(st.Inst)
+	var moves []core.Move
+	for _, v := range st.Rand.Perm(st.Inst.N()) {
+		in := st.Inst.G.In(v)
+		if len(in) == 0 {
+			continue
+		}
+		// Own state is always current; peer states come from the view.
+		wanted := st.Missing(v)
+		other := st.Lacking(v)
+		other.DifferenceWith(wanted)
+		for _, class := range []([]int){
+			tokensByRarity(wanted, counts, st.Rand),
+			tokensByRarity(other, counts, st.Rand),
+		} {
+			for _, t := range class {
+				best := -1
+				seen := 0
+				for _, a := range in {
+					if !view[a.From].Has(t) || rem.left(a.From, v) <= 0 {
+						continue
+					}
+					seen++
+					if st.Rand.Intn(seen) == 0 {
+						best = a.From
+					}
+				}
+				if best == -1 {
+					continue
+				}
+				rem.take(best, v)
+				moves = append(moves, core.Move{From: best, To: v, Token: t})
+			}
+		}
+	}
+	return moves
+}

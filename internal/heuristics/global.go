@@ -1,0 +1,135 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+	"ocd/internal/tokenset"
+)
+
+// Global builds the §5.1 global heuristic: the general case of Local where
+// vertices coordinate within each timestep to maximize diversity. The
+// coordination removes the need for requests — the planner sees everything
+// and guarantees a destination receives a token at most once per turn.
+//
+// As in the paper, the planner is a greedy selection over tokens and edges
+// rather than an exhaustive matching ("not guaranteed to maximize
+// diversity … to allow the heuristic to function at large scale"): it runs
+// interleaved rounds in which every destination claims one more token,
+// choosing the token with the lowest effective rarity, where copies already
+// scheduled this turn count heavily against a token. Wanted tokens are
+// claimed before diversity-only tokens.
+var Global sim.Factory = newGlobal
+
+type globalStrategy struct{}
+
+func newGlobal(_ *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	return globalStrategy{}, nil
+}
+
+func (globalStrategy) Name() string { return "global" }
+
+func (globalStrategy) Plan(st *sim.State) []core.Move {
+	inst := st.Inst
+	n := inst.N()
+	counts := haveCounts(st)
+	rem := newResidual(inst)
+	inFlight := make([]int, inst.NumTokens)
+	var moves []core.Move
+
+	// scheduled[v] tracks tokens already planned for delivery to v this
+	// turn; missing/lacking shrink as rounds assign tokens.
+	scheduled := make([]tokenset.Set, n)
+	wantedLeft := make([]tokenset.Set, n)
+	lackLeft := make([]tokenset.Set, n)
+	for v := 0; v < n; v++ {
+		scheduled[v] = tokenset.New(inst.NumTokens)
+		wantedLeft[v] = st.Missing(v)
+		lackLeft[v] = st.Lacking(v)
+		lackLeft[v].DifferenceWith(wantedLeft[v])
+	}
+
+	order := st.Rand.Perm(n)
+	obtainable := tokenset.New(inst.NumTokens)
+	for {
+		assigned := false
+		for _, v := range order {
+			// Tokens v could still pull this round: union of the
+			// possession of in-neighbors with residual capacity.
+			obtainable.Clear()
+			anyCap := false
+			for _, a := range inst.G.In(v) {
+				if rem.left(a.From, v) > 0 {
+					obtainable.UnionWith(st.Possess[a.From])
+					anyCap = true
+				}
+			}
+			if !anyCap {
+				continue
+			}
+			obtainable.DifferenceWith(st.Possess[v])
+			obtainable.DifferenceWith(scheduled[v])
+			t := pickDiverse(obtainable, wantedLeft[v], lackLeft[v], counts, inFlight, n, st.Rand)
+			if t == -1 {
+				continue
+			}
+			// Claim t from the holder neighbor with the most spare capacity.
+			best, bestLeft := -1, 0
+			for _, a := range inst.G.In(v) {
+				if !st.Possess[a.From].Has(t) {
+					continue
+				}
+				if l := rem.left(a.From, v); l > bestLeft {
+					best, bestLeft = a.From, l
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			rem.take(best, v)
+			scheduled[v].Add(t)
+			wantedLeft[v].Remove(t)
+			lackLeft[v].Remove(t)
+			inFlight[t]++
+			moves = append(moves, core.Move{From: best, To: v, Token: t})
+			assigned = true
+		}
+		if !assigned {
+			break
+		}
+	}
+	return moves
+}
+
+// pickDiverse selects the next token for a destination: among wanted tokens
+// if any are obtainable, otherwise among diversity tokens; within the class
+// it minimizes counts[t] + n·inFlight[t], so a token already scheduled this
+// turn is treated as more common than any unscheduled one. Returns -1 when
+// nothing is obtainable.
+func pickDiverse(obtainable, wanted, lack tokenset.Set, counts, inFlight []int, n int, rng *rand.Rand) int {
+	for _, class := range []tokenset.Set{wanted, lack} {
+		best, bestScore, seen := -1, 0, 0
+		class.ForEach(func(t int) bool {
+			if !obtainable.Has(t) {
+				return true
+			}
+			score := counts[t] + n*inFlight[t]
+			switch {
+			case best == -1 || score < bestScore:
+				best, bestScore, seen = t, score, 1
+			case score == bestScore:
+				// Reservoir-sample ties for the rarest-*random* behaviour.
+				seen++
+				if rng.Intn(seen) == 0 {
+					best = t
+				}
+			}
+			return true
+		})
+		if best != -1 {
+			return best
+		}
+	}
+	return -1
+}

@@ -1,0 +1,117 @@
+// Package heuristics implements the five distribution strategies evaluated
+// in §5.1 of the paper:
+//
+//   - Round Robin: per-arc circular token queue; purely local knowledge.
+//   - Random: uniform random choice among tokens the peer lacks; requires
+//     knowledge of each peer's possession at the start of the turn.
+//   - Local: "rarest random" with per-step global aggregate vectors of what
+//     vertices want and do not have, and per-peer request subdivision so two
+//     peers do not send the same rare token to the same destination.
+//   - Bandwidth: online but with global knowledge; a vertex obtains only
+//     tokens it will eventually use — tokens it needs, or tokens for which
+//     it is the closest one-hop-knowledge vertex to some needer.
+//   - Global: coordinated greedy selection over all tokens and arcs that
+//     maximizes diversity (the paper's large-scale greedy stand-in for
+//     exhaustive matching).
+//
+// Every strategy is packaged as a sim.Factory; the engine in internal/sim
+// enforces the model constraints on whatever the strategies propose.
+package heuristics
+
+import (
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+	"ocd/internal/tokenset"
+)
+
+// Named returns the factory registered under name, if any.
+func Named(name string) (sim.Factory, bool) {
+	switch name {
+	case "roundrobin", "round-robin", "rr":
+		return RoundRobin, true
+	case "random", "rand":
+		return Random, true
+	case "local", "rarest", "rarest-random":
+		return Local, true
+	case "bandwidth", "bw":
+		return Bandwidth, true
+	case "global":
+		return Global, true
+	default:
+		return nil, false
+	}
+}
+
+// Names lists the canonical heuristic names in the order the paper
+// introduces them.
+func Names() []string {
+	return []string{"roundrobin", "random", "local", "bandwidth", "global"}
+}
+
+// All returns the factories in the same order as Names.
+func All() []sim.Factory {
+	return []sim.Factory{RoundRobin, Random, Local, Bandwidth, Global}
+}
+
+// haveCounts returns, for every token, the number of vertices currently
+// possessing it — the rarity signal of the rarest-random family.
+func haveCounts(st *sim.State) []int {
+	counts := make([]int, st.Inst.NumTokens)
+	for v := range st.Possess {
+		st.Possess[v].ForEach(func(t int) bool {
+			counts[t]++
+			return true
+		})
+	}
+	return counts
+}
+
+// residual tracks per-arc remaining capacity within a single timestep.
+type residual map[[2]int]int
+
+func newResidual(inst *core.Instance) residual {
+	r := make(residual, inst.G.NumArcs())
+	for _, a := range inst.G.Arcs() {
+		r[[2]int{a.From, a.To}] = a.Cap
+	}
+	return r
+}
+
+func (r residual) take(u, v int) bool {
+	key := [2]int{u, v}
+	if r[key] <= 0 {
+		return false
+	}
+	r[key]--
+	return true
+}
+
+func (r residual) left(u, v int) int { return r[[2]int{u, v}] }
+
+// tokensByRarity returns the tokens of set ordered by ascending have-count
+// (rarest first), shuffling ties with rng so repeated runs diversify.
+func tokensByRarity(set tokenset.Set, counts []int, rng *rand.Rand) []int {
+	tokens := set.Slice()
+	rng.Shuffle(len(tokens), func(i, j int) {
+		tokens[i], tokens[j] = tokens[j], tokens[i]
+	})
+	// Stable-ish insertion by rarity after the shuffle: simple sort by count.
+	sortByCount(tokens, counts)
+	return tokens
+}
+
+// sortByCount sorts token IDs ascending by counts[t] (insertion sort keeps
+// the shuffled order among equals).
+func sortByCount(tokens []int, counts []int) {
+	for i := 1; i < len(tokens); i++ {
+		t := tokens[i]
+		j := i - 1
+		for j >= 0 && counts[tokens[j]] > counts[t] {
+			tokens[j+1] = tokens[j]
+			j--
+		}
+		tokens[j+1] = t
+	}
+}

@@ -1,0 +1,380 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+func TestNamedLookup(t *testing.T) {
+	for _, name := range Names() {
+		if _, ok := Named(name); !ok {
+			t.Errorf("canonical name %q not registered", name)
+		}
+	}
+	aliases := map[string]string{
+		"rr": "roundrobin", "rand": "random", "rarest": "local",
+		"rarest-random": "local", "bw": "bandwidth", "round-robin": "roundrobin",
+	}
+	for alias := range aliases {
+		if _, ok := Named(alias); !ok {
+			t.Errorf("alias %q not registered", alias)
+		}
+	}
+	if _, ok := Named("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+	if len(All()) != len(Names()) {
+		t.Error("All and Names disagree")
+	}
+}
+
+// fixtures returns a diverse set of (name, instance) cases every heuristic
+// must complete.
+func fixtures(t *testing.T) map[string]*core.Instance {
+	t.Helper()
+	out := make(map[string]*core.Instance)
+
+	mk := func(g *graph.Graph, err error) *graph.Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	out["line"] = workload.SingleFile(mk(topology.Line(5, 2)), 6)
+	out["ring"] = workload.SingleFile(mk(topology.Ring(6, 1)), 4)
+	out["star"] = workload.SingleFile(mk(topology.Star(6, 3)), 8)
+	out["complete"] = workload.SingleFile(mk(topology.Complete(5, 2)), 8)
+	out["grid"] = workload.SingleFile(mk(topology.Grid(3, 3, 2)), 8)
+	out["random"] = workload.SingleFile(mk(topology.Random(24, topology.DefaultCaps, 3)), 30)
+	out["transit-stub"] = workload.SingleFile(mk(topology.TransitStubN(25, topology.DefaultCaps, 3)), 30)
+
+	// Sparse wants: only two receivers.
+	g := mk(topology.Random(16, topology.DefaultCaps, 9))
+	sparse := core.NewInstance(g, 12)
+	sparse.Have[0].AddRange(0, 12)
+	sparse.Want[7].AddRange(0, 12)
+	sparse.Want[13].AddRange(0, 6)
+	out["sparse"] = sparse
+
+	// Multiple senders, partial wants.
+	ms, err := workload.MultiSender(mk(topology.Random(20, topology.DefaultCaps, 5)), 16, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["multisender"] = ms
+	return out
+}
+
+func TestAllHeuristicsCompleteAndValidate(t *testing.T) {
+	for fixtureName, inst := range fixtures(t) {
+		for i, factory := range All() {
+			name := Names()[i]
+			t.Run(fixtureName+"/"+name, func(t *testing.T) {
+				res, err := sim.Run(inst, factory, sim.Options{Seed: 42, Prune: true})
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if !res.Completed {
+					t.Fatal("did not complete")
+				}
+				if err := core.Validate(inst, res.Schedule); err != nil {
+					t.Fatalf("invalid schedule: %v", err)
+				}
+				if res.Rejected != 0 {
+					t.Errorf("%d proposed moves were illegal", res.Rejected)
+				}
+				if res.Steps < core.MakespanLowerBound(inst, nil) {
+					t.Errorf("makespan %d below lower bound %d",
+						res.Steps, core.MakespanLowerBound(inst, nil))
+				}
+				if res.PrunedMoves < core.BandwidthLowerBound(inst, nil) {
+					t.Errorf("pruned bandwidth %d below lower bound %d",
+						res.PrunedMoves, core.BandwidthLowerBound(inst, nil))
+				}
+			})
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g, err := topology.Random(20, topology.DefaultCaps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 20)
+	for i, factory := range All() {
+		a, err := sim.Run(inst, factory, sim.Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sim.Run(inst, factory, sim.Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Steps != b.Steps || a.Moves != b.Moves {
+			t.Errorf("%s not deterministic: (%d,%d) vs (%d,%d)",
+				Names()[i], a.Steps, a.Moves, b.Steps, b.Moves)
+		}
+	}
+}
+
+func TestRoundRobinIgnoresWants(t *testing.T) {
+	// Round Robin is knowledge-free: its move stream must not depend on
+	// the want sets (§5.1). Compare the first planned step on two
+	// instances differing only in wants.
+	g, err := topology.Ring(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := workload.SingleFile(g, 8)
+	b := workload.SingleFile(g, 8)
+	for v := 1; v < 6; v++ {
+		b.Want[v].Clear()
+	}
+	b.Want[3].Add(0)
+
+	planFirst := func(inst *core.Instance) []core.Move {
+		strat, err := newRoundRobin(inst, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &sim.State{Inst: inst, Possess: inst.InitialPossession(),
+			Rand: rand.New(rand.NewSource(1))}
+		return strat.Plan(st)
+	}
+	ma, mb := planFirst(a), planFirst(b)
+	if len(ma) != len(mb) {
+		t.Fatalf("move counts differ: %d vs %d", len(ma), len(mb))
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("move %d differs: %v vs %v", i, ma[i], mb[i])
+		}
+	}
+}
+
+func TestRoundRobinCyclesTokens(t *testing.T) {
+	// On a 2-vertex link of capacity 1, round robin must deliver a new
+	// token every step in ID order.
+	g := graph.New(2)
+	if err := g.AddArc(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	inst := core.NewInstance(g, 4)
+	inst.Have[0].AddRange(0, 4)
+	inst.Want[1].AddRange(0, 4)
+	res, err := sim.Run(inst, RoundRobin, sim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 4 || res.Moves != 4 {
+		t.Errorf("steps=%d moves=%d, want 4/4", res.Steps, res.Moves)
+	}
+	for i, st := range res.Schedule.Steps {
+		if len(st) != 1 || st[0].Token != i {
+			t.Errorf("step %d = %v, want token %d", i, st, i)
+		}
+	}
+}
+
+func TestRandomAvoidsKnownDuplicates(t *testing.T) {
+	// Random only sends tokens the peer lacks, so on a single link the
+	// bandwidth equals the token count exactly.
+	g := graph.New(2)
+	if err := g.AddArc(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	inst := core.NewInstance(g, 9)
+	inst.Have[0].AddRange(0, 9)
+	inst.Want[1].AddRange(0, 9)
+	res, err := sim.Run(inst, Random, sim.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 9 {
+		t.Errorf("moves = %d, want exactly 9 (no duplicates on one link)", res.Moves)
+	}
+	if res.Steps != 3 {
+		t.Errorf("steps = %d, want 3 (capacity 3)", res.Steps)
+	}
+}
+
+func TestLocalPrefersRarestFirst(t *testing.T) {
+	// Source 0 connects to sink 2 via relay 1 (capacity 1 per arc).
+	// Token 1 is already widespread (held by 1 and 2); token 0 is rare.
+	// Local must move the rare token first on the 0→1 arc.
+	g := graph.New(3)
+	if err := g.AddArc(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddArc(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	inst := core.NewInstance(g, 2)
+	inst.Have[0].AddRange(0, 2)
+	inst.Have[1].Add(1)
+	inst.Have[2].Add(1)
+	inst.Want[2].AddRange(0, 2)
+
+	strat, err := newLocal(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &sim.State{Inst: inst, Possess: inst.InitialPossession(),
+		Rand: rand.New(rand.NewSource(1))}
+	moves := strat.Plan(st)
+	for _, mv := range moves {
+		if mv.From == 0 && mv.To == 1 && mv.Token != 0 {
+			t.Errorf("local sent common token %d before rare token on 0→1", mv.Token)
+		}
+	}
+}
+
+func TestLocalSubdividesRequests(t *testing.T) {
+	// Destination 2 has two in-neighbors both holding both tokens, each
+	// arc capacity 1: coordination must fetch both tokens in one step
+	// (one from each neighbor), not the same token twice.
+	g := graph.New(3)
+	if err := g.AddArc(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddArc(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	inst := core.NewInstance(g, 2)
+	inst.Have[0].AddRange(0, 2)
+	inst.Have[1].AddRange(0, 2)
+	inst.Want[2].AddRange(0, 2)
+	res, err := sim.Run(inst, Local, sim.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 {
+		t.Errorf("steps = %d, want 1 (requests subdivided across peers)", res.Steps)
+	}
+	if res.Moves != 2 {
+		t.Errorf("moves = %d, want 2", res.Moves)
+	}
+}
+
+func TestBandwidthOnlySendsUseful(t *testing.T) {
+	// A 10-vertex line where only the far end wants a 4-token file: the
+	// bandwidth heuristic must not flood non-wanting side branches.
+	g := graph.New(10)
+	for i := 0; i+1 < 9; i++ {
+		if err := g.AddEdge(i, i+1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A dead-end branch that flooding heuristics would fill.
+	if err := g.AddEdge(4, 9, 2); err != nil {
+		t.Fatal(err)
+	}
+	inst := core.NewInstance(g, 4)
+	inst.Have[0].AddRange(0, 4)
+	inst.Want[8].AddRange(0, 4)
+
+	res, err := sim.Run(inst, Bandwidth, sim.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("bandwidth heuristic did not complete")
+	}
+	// Tokens must never be delivered to the dead-end vertex 9: it neither
+	// wants them nor is it ever the closest one-hop vertex to the needer.
+	for _, st := range res.Schedule.Steps {
+		for _, mv := range st {
+			if mv.To == 9 {
+				t.Fatalf("bandwidth heuristic flooded dead-end vertex: %v", mv)
+			}
+		}
+	}
+	// Minimum useful bandwidth: 4 tokens × 8 hops.
+	if res.Moves != 32 {
+		t.Errorf("moves = %d, want exactly 32 (no waste)", res.Moves)
+	}
+}
+
+func TestBandwidthBeatsFloodingOnSparseWants(t *testing.T) {
+	g, err := topology.Random(40, topology.DefaultCaps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.ReceiverDensity(g, 30, 0.15, 99)
+	bw, err := sim.Run(inst, Bandwidth, sim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := sim.Run(inst, Local, sim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.Moves >= fl.Moves {
+		t.Errorf("bandwidth heuristic (%d moves) not cheaper than flooding local (%d moves)",
+			bw.Moves, fl.Moves)
+	}
+}
+
+func TestGlobalCoordinationAvoidsDuplicates(t *testing.T) {
+	// Two holders, one destination, two tokens, capacity 1 per arc: the
+	// coordinated planner must never schedule the same token twice to the
+	// same destination in one turn.
+	g := graph.New(3)
+	if err := g.AddArc(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddArc(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	inst := core.NewInstance(g, 2)
+	inst.Have[0].AddRange(0, 2)
+	inst.Have[1].AddRange(0, 2)
+	inst.Want[2].AddRange(0, 2)
+	res, err := sim.Run(inst, Global, sim.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 || res.Moves != 2 {
+		t.Errorf("steps=%d moves=%d, want 1/2", res.Steps, res.Moves)
+	}
+	seen := map[[2]int]bool{}
+	for _, mv := range res.Schedule.Steps[0] {
+		key := [2]int{mv.To, mv.Token}
+		if seen[key] {
+			t.Errorf("duplicate delivery scheduled: %v", mv)
+		}
+		seen[key] = true
+	}
+}
+
+func TestFloodingOrderingRoundRobinSlowest(t *testing.T) {
+	// The paper's headline qualitative claim (§5.2): round robin is much
+	// slower than the peer-aware heuristics, and random is within a
+	// constant factor of the smarter ones.
+	g, err := topology.Random(30, topology.DefaultCaps, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 40)
+	steps := map[string]int{}
+	for i, factory := range All() {
+		res, err := sim.Run(inst, factory, sim.Options{Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps[Names()[i]] = res.Steps
+	}
+	if steps["roundrobin"] <= steps["local"] || steps["roundrobin"] <= steps["random"] {
+		t.Errorf("round robin (%d) not slower than local (%d) / random (%d)",
+			steps["roundrobin"], steps["local"], steps["random"])
+	}
+}

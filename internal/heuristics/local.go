@@ -1,0 +1,76 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+)
+
+// Local builds the §5.1 "rarest random" heuristic. At the start of every
+// timestep the aggregate have/want vectors are distributed to all vertices
+// (the paper assumes a multicast tree does this). Each vertex then requests
+// the tokens it lacks from its in-neighbors, rarest first, subdividing its
+// needs across distinct neighbors so that two peers do not send the same
+// rare token to the same destination. Tokens the vertex actually wants are
+// requested before tokens fetched only to increase diversity (the general-
+// problem extension: both the want aggregate and the not-have aggregate are
+// distributed).
+var Local sim.Factory = newLocal
+
+type localStrategy struct{}
+
+func newLocal(_ *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	return localStrategy{}, nil
+}
+
+func (localStrategy) Name() string { return "local" }
+
+func (localStrategy) Plan(st *sim.State) []core.Move {
+	counts := haveCounts(st)
+	rem := newResidual(st.Inst)
+	var moves []core.Move
+	order := st.Rand.Perm(st.Inst.N())
+	for _, v := range order {
+		moves = appendRequests(st, counts, rem, v, moves)
+	}
+	return moves
+}
+
+// appendRequests assigns vertex v's missing tokens to in-neighbor holders
+// with residual capacity, wanted tokens first, rarest first within each
+// class, and returns the extended move list.
+func appendRequests(st *sim.State, counts []int, rem residual, v int, moves []core.Move) []core.Move {
+	in := st.Inst.G.In(v)
+	if len(in) == 0 {
+		return moves
+	}
+	wanted := st.Missing(v)
+	other := st.Lacking(v)
+	other.DifferenceWith(wanted)
+	for _, class := range []([]int){
+		tokensByRarity(wanted, counts, st.Rand),
+		tokensByRarity(other, counts, st.Rand),
+	} {
+		for _, t := range class {
+			// Pick a random holder among in-neighbors with spare capacity.
+			best := -1
+			seen := 0
+			for _, a := range in {
+				if !st.Possess[a.From].Has(t) || rem.left(a.From, v) <= 0 {
+					continue
+				}
+				seen++
+				if st.Rand.Intn(seen) == 0 {
+					best = a.From
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			rem.take(best, v)
+			moves = append(moves, core.Move{From: best, To: v, Token: t})
+		}
+	}
+	return moves
+}

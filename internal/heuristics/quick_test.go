@@ -1,0 +1,93 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+	"ocd/internal/sim"
+)
+
+// workloadSpec is a generatable random workload for property testing.
+type workloadSpec struct {
+	Seed    int64
+	N       uint8
+	Tokens  uint8
+	Wanters uint8
+}
+
+// build materializes a connected instance: 4..12 vertices, 1..8 tokens,
+// random holders, and 1..n random wanters per token.
+func (s workloadSpec) build() *core.Instance {
+	n := int(s.N%9) + 4
+	m := int(s.Tokens%8) + 1
+	rng := rand.New(rand.NewSource(s.Seed))
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(perm[i], perm[rng.Intn(i)], 1+rng.Intn(3))
+	}
+	// A few chords for mesh structure.
+	for e := 0; e < n/2; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasArc(u, v) {
+			_ = g.AddEdge(u, v, 1+rng.Intn(3))
+		}
+	}
+	inst := core.NewInstance(g, m)
+	for t := 0; t < m; t++ {
+		inst.Have[rng.Intn(n)].Add(t)
+		for w := 0; w <= int(s.Wanters)%3; w++ {
+			inst.Want[rng.Intn(n)].Add(t)
+		}
+	}
+	return inst
+}
+
+// TestQuickEveryHeuristicSoundOnRandomWorkloads is the grand invariant:
+// every heuristic, on any random connected workload, completes within the
+// horizon, produces a schedule the strict validator accepts, never has a
+// move rejected, and never beats the lower bounds.
+func TestQuickEveryHeuristicSoundOnRandomWorkloads(t *testing.T) {
+	for i, factory := range All() {
+		name := Names()[i]
+		f := func(spec workloadSpec) bool {
+			inst := spec.build()
+			res, err := sim.Run(inst, factory, sim.Options{Seed: spec.Seed, Prune: true})
+			if err != nil || !res.Completed || res.Rejected != 0 {
+				return false
+			}
+			if core.Validate(inst, res.Schedule) != nil {
+				return false
+			}
+			if res.Steps < core.MakespanLowerBound(inst, nil) {
+				return false
+			}
+			return res.PrunedMoves >= core.BandwidthLowerBound(inst, nil)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestQuickDelayedLocalSound extends the invariant to the stale-knowledge
+// variant (with the idle patience its bootstrap needs).
+func TestQuickDelayedLocalSound(t *testing.T) {
+	f := func(spec workloadSpec, delay uint8) bool {
+		d := int(delay % 4)
+		inst := spec.build()
+		res, err := sim.Run(inst, LocalDelayed(d), sim.Options{
+			Seed: spec.Seed, IdlePatience: d + 1,
+		})
+		if err != nil || !res.Completed {
+			return false
+		}
+		return core.Validate(inst, res.Schedule) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

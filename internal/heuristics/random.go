@@ -1,0 +1,50 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+)
+
+// Random builds the basic random heuristic: each vertex knows, at the start
+// of the turn, which tokens each out-neighbor possesses (§5.1 assumes peers
+// exchange this at turn granularity), and independently picks a uniform
+// random subset of the tokens the peer lacks, up to the arc capacity.
+// Vertices do not coordinate, so two peers may send the same token to the
+// same destination in the same turn.
+var Random sim.Factory = newRandom
+
+type randomStrategy struct{}
+
+func newRandom(_ *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	return randomStrategy{}, nil
+}
+
+func (randomStrategy) Name() string { return "random" }
+
+func (randomStrategy) Plan(st *sim.State) []core.Move {
+	var moves []core.Move
+	for u := 0; u < st.Inst.N(); u++ {
+		if st.Possess[u].Empty() {
+			continue
+		}
+		for _, a := range st.Inst.G.Out(u) {
+			candidates := st.Possess[u].Difference(st.Possess[a.To]).Slice()
+			if len(candidates) == 0 {
+				continue
+			}
+			st.Rand.Shuffle(len(candidates), func(i, j int) {
+				candidates[i], candidates[j] = candidates[j], candidates[i]
+			})
+			k := a.Cap
+			if k > len(candidates) {
+				k = len(candidates)
+			}
+			for _, t := range candidates[:k] {
+				moves = append(moves, core.Move{From: u, To: a.To, Token: t})
+			}
+		}
+	}
+	return moves
+}

@@ -1,0 +1,53 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+)
+
+// RoundRobin builds the paper's simplest heuristic: each vertex cycles a
+// circular queue of token IDs per outgoing arc, sending the next tokens it
+// possesses up to the arc capacity. It needs no knowledge beyond the local
+// token store and the per-arc cursor, and consequently re-sends tokens the
+// peer already has and duplicates what other peers send (§5.1).
+var RoundRobin sim.Factory = newRoundRobin
+
+type roundRobin struct {
+	// cursor holds, per arc, the token ID after the last one sent.
+	cursor map[[2]int]int
+}
+
+func newRoundRobin(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	return &roundRobin{cursor: make(map[[2]int]int, inst.G.NumArcs())}, nil
+}
+
+func (r *roundRobin) Name() string { return "roundrobin" }
+
+func (r *roundRobin) Plan(st *sim.State) []core.Move {
+	m := st.Inst.NumTokens
+	var moves []core.Move
+	for u := 0; u < st.Inst.N(); u++ {
+		have := st.Possess[u]
+		if have.Empty() {
+			continue
+		}
+		for _, a := range st.Inst.G.Out(u) {
+			key := [2]int{a.From, a.To}
+			cur := r.cursor[key]
+			sent := 0
+			// One full cycle at most: skip tokens u does not have.
+			for scanned := 0; scanned < m && sent < a.Cap; scanned++ {
+				t := (cur + scanned) % m
+				if !have.Has(t) {
+					continue
+				}
+				moves = append(moves, core.Move{From: u, To: a.To, Token: t})
+				sent++
+				r.cursor[key] = (t + 1) % m
+			}
+		}
+	}
+	return moves
+}

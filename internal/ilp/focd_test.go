@@ -1,0 +1,93 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/exact"
+	"ocd/internal/graph"
+	"ocd/internal/workload"
+)
+
+func TestSolveFOCDLine(t *testing.T) {
+	inst := lineInstance(t, 4, 1, 1)
+	sched, tau, err := SolveFOCD(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 3 {
+		t.Errorf("optimum tau = %d, want 3", tau)
+	}
+	if sched.Makespan() != 3 {
+		t.Errorf("schedule makespan = %d", sched.Makespan())
+	}
+	if err := core.Validate(inst, sched); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+}
+
+func TestSolveFOCDFigure1(t *testing.T) {
+	inst := workload.Figure1()
+	sched, tau, err := SolveFOCD(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 2 {
+		t.Errorf("Figure 1 ILP optimum tau = %d, want 2", tau)
+	}
+	// At the fast optimum the minimum bandwidth is 6 (the Figure 1 claim).
+	if sched.Moves() != 6 {
+		t.Errorf("bandwidth at tau* = %d, want 6", sched.Moves())
+	}
+}
+
+func TestSolveFOCDTrivialAndUnsat(t *testing.T) {
+	inst := lineInstance(t, 3, 1, 1)
+	inst.Want[2].Clear()
+	_, tau, err := SolveFOCD(inst, Options{})
+	if err != nil || tau != 0 {
+		t.Errorf("trivial instance: tau=%d err=%v", tau, err)
+	}
+
+	g := graph.New(2)
+	if err := g.AddArc(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := core.NewInstance(g, 1)
+	bad.Have[1].Add(0)
+	bad.Want[0].Add(0)
+	if _, _, err := SolveFOCD(bad, Options{}); err == nil {
+		t.Error("unsatisfiable instance accepted")
+	}
+}
+
+func TestSolveFOCDAgreesWithBranchAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.Intn(2)
+		g := graph.New(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			if err := g.AddEdge(perm[i], perm[rng.Intn(i)], 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inst := core.NewInstance(g, 2)
+		for tok := 0; tok < 2; tok++ {
+			inst.Have[rng.Intn(n)].Add(tok)
+			inst.Want[rng.Intn(n)].Add(tok)
+		}
+		bnb, err := exact.SolveFOCD(inst, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d bnb: %v", trial, err)
+		}
+		_, tau, err := SolveFOCD(inst, Options{})
+		if err != nil {
+			t.Fatalf("trial %d ilp: %v", trial, err)
+		}
+		if tau != bnb.Makespan() {
+			t.Errorf("trial %d: ILP tau %d != branch-and-bound %d", trial, tau, bnb.Makespan())
+		}
+	}
+}

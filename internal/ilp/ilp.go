@@ -1,0 +1,294 @@
+// Package ilp builds and solves the paper's §3.4 time-indexed integer
+// program for the Efficient Overlay Content Distribution problem.
+//
+// For a horizon τ, a 0/1 variable x^i_{(u,v),t} says token t crosses arc
+// (u,v) at timestep i. The graph is extended with a self-arc at every
+// vertex (storage); self-arcs carry no cost and no capacity. Constraints:
+//
+//	possession:  x^i_{(u,v),t} ≤ Σ_{w:(w,u)∈E'} x^{i−1}_{(w,u),t}
+//	capacity:    Σ_t x^i_{(u,v),t} ≤ c(u,v)      (real arcs only)
+//	final:       x^{τ+1}_{(v,v),t} ≥ w_{vt}
+//
+// with initial conditions x^0_{(v,v),t} = [t ∈ h(v)] folded into the i = 1
+// possession rows. The objective minimizes the number of real-arc moves.
+// Solving is branch-and-bound on the LP relaxation from internal/lp.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+	"ocd/internal/lp"
+)
+
+// ErrInfeasible is returned when no schedule of length τ exists.
+var ErrInfeasible = errors.New("ilp: infeasible within horizon")
+
+// ErrBudget is returned when branch-and-bound exceeds its node budget.
+var ErrBudget = errors.New("ilp: node budget exhausted")
+
+// Options controls the solver.
+type Options struct {
+	// MaxNodes caps branch-and-bound nodes (0 = 10000).
+	MaxNodes int
+}
+
+func (o Options) nodes() int {
+	if o.MaxNodes <= 0 {
+		return 10000
+	}
+	return o.MaxNodes
+}
+
+// variable identifies one x^i_{(u,v),t}.
+type variable struct {
+	from, to int // from == to means self-arc
+	token    int
+	step     int // 1-based
+}
+
+// Program is the constructed integer program plus the decoding metadata.
+type Program struct {
+	inst *core.Instance
+	tau  int
+	vars []variable
+	// index maps (from,to,token,step) → variable position.
+	index map[variable]int
+	prob  *lp.Problem
+	// realArcs are the graph arcs (cost carriers).
+	realArcs []graph.Arc
+}
+
+// Build constructs the time-indexed program for the given horizon.
+func Build(inst *core.Instance, tau int) (*Program, error) {
+	if err := inst.Check(); err != nil {
+		return nil, err
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("ilp: horizon %d must be >= 1", tau)
+	}
+	p := &Program{
+		inst:     inst,
+		tau:      tau,
+		index:    make(map[variable]int),
+		realArcs: inst.G.Arcs(),
+	}
+	n := inst.N()
+	m := inst.NumTokens
+
+	add := func(v variable) {
+		p.index[v] = len(p.vars)
+		p.vars = append(p.vars, v)
+	}
+	// Real-arc variables: steps 1..τ.
+	for _, a := range p.realArcs {
+		for t := 0; t < m; t++ {
+			for i := 1; i <= tau; i++ {
+				add(variable{from: a.From, to: a.To, token: t, step: i})
+			}
+		}
+	}
+	// Self-arc variables: steps 1..τ+1.
+	for v := 0; v < n; v++ {
+		for t := 0; t < m; t++ {
+			for i := 1; i <= tau+1; i++ {
+				add(variable{from: v, to: v, token: t, step: i})
+			}
+		}
+	}
+
+	nv := len(p.vars)
+	prob := &lp.Problem{C: make([]float64, nv)}
+	for idx, v := range p.vars {
+		if v.from != v.to {
+			prob.C[idx] = 1
+		}
+	}
+
+	addRow := func(row []float64, rhs float64) {
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, rhs)
+	}
+
+	// Possession rows: x^i_{(u,v),t} − Σ_{w:(w,u)∈E'} x^{i−1}_{(w,u),t} ≤ init
+	// where init = 1 if i == 1 and t ∈ h(u), else 0 (the x^0 constants).
+	for idx, v := range p.vars {
+		row := make([]float64, nv)
+		row[idx] = 1
+		rhs := 0.0
+		if v.step == 1 {
+			if p.inst.Have[v.from].Has(v.token) {
+				rhs = 1
+			}
+		} else {
+			prev := v.step - 1
+			// Incoming real arcs into v.from (only exist for prev ≤ τ).
+			if prev <= tau {
+				for _, a := range inst.G.In(v.from) {
+					j := p.index[variable{from: a.From, to: a.To, token: v.token, step: prev}]
+					row[j] -= 1
+				}
+			}
+			// Self-arc at v.from.
+			j := p.index[variable{from: v.from, to: v.from, token: v.token, step: prev}]
+			row[j] -= 1
+		}
+		addRow(row, rhs)
+	}
+
+	// Capacity rows: real arcs only.
+	for _, a := range p.realArcs {
+		for i := 1; i <= tau; i++ {
+			row := make([]float64, nv)
+			for t := 0; t < m; t++ {
+				row[p.index[variable{from: a.From, to: a.To, token: t, step: i}]] = 1
+			}
+			addRow(row, float64(a.Cap))
+		}
+	}
+
+	// Final rows: x^{τ+1}_{(v,v),t} ≥ w_{vt}  ⇔  −x ≤ −1 when wanted.
+	for v := 0; v < n; v++ {
+		for t := 0; t < m; t++ {
+			if !inst.Want[v].Has(t) {
+				continue
+			}
+			row := make([]float64, nv)
+			row[p.index[variable{from: v, to: v, token: t, step: tau + 1}]] = -1
+			addRow(row, -1)
+		}
+	}
+
+	// Upper bounds x ≤ 1.
+	for idx := 0; idx < nv; idx++ {
+		row := make([]float64, nv)
+		row[idx] = 1
+		addRow(row, 1)
+	}
+
+	p.prob = prob
+	return p, nil
+}
+
+// NumVariables returns the number of 0/1 variables in the program.
+func (p *Program) NumVariables() int { return len(p.vars) }
+
+// NumConstraints returns the number of inequality rows (including x ≤ 1
+// bounds).
+func (p *Program) NumConstraints() int { return len(p.prob.A) }
+
+// Solve runs branch-and-bound on the LP relaxation and returns a schedule
+// of length ≤ τ with the minimum number of moves, along with that optimum.
+func (p *Program) Solve(opts Options) (*core.Schedule, int, error) {
+	s := &solver{p: p, budget: opts.nodes(), bestObj: math.Inf(1)}
+	if err := s.branch(map[int]int{}); err != nil {
+		return nil, 0, err
+	}
+	if s.bestX == nil {
+		return nil, 0, ErrInfeasible
+	}
+	sched := p.decode(s.bestX)
+	return sched, int(math.Round(s.bestObj)), nil
+}
+
+type solver struct {
+	p       *Program
+	budget  int
+	nodes   int
+	bestObj float64
+	bestX   []float64
+}
+
+const intTol = 1e-6
+
+// branch solves the LP with the given variable fixings and recurses on the
+// most fractional variable.
+func (s *solver) branch(fixed map[int]int) error {
+	s.nodes++
+	if s.nodes > s.budget {
+		return ErrBudget
+	}
+	prob := s.p.withFixings(fixed)
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return fmt.Errorf("ilp: lp relaxation: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil // infeasible subproblem (unbounded cannot occur: c ≥ 0, x bounded)
+	}
+	// Integral objective: can round the bound up.
+	if math.Ceil(sol.Objective-intTol) >= s.bestObj {
+		return nil
+	}
+	// Find most fractional variable.
+	frac := -1
+	fracDist := 0.0
+	for j, x := range sol.X {
+		d := math.Abs(x - math.Round(x))
+		if d > intTol && d > fracDist {
+			frac = j
+			fracDist = d
+		}
+	}
+	if frac == -1 {
+		// Integral solution.
+		if sol.Objective < s.bestObj {
+			s.bestObj = math.Round(sol.Objective)
+			s.bestX = append([]float64(nil), sol.X...)
+		}
+		return nil
+	}
+	for _, val := range []int{1, 0} { // try 1 first: progress-making branch
+		fixed[frac] = val
+		if err := s.branch(fixed); err != nil {
+			return err
+		}
+		delete(fixed, frac)
+	}
+	return nil
+}
+
+// withFixings returns a copy of the base problem with x_j = v rows added.
+func (p *Program) withFixings(fixed map[int]int) *lp.Problem {
+	base := p.prob
+	nv := len(base.C)
+	prob := &lp.Problem{
+		C: base.C,
+		A: append([][]float64(nil), base.A...),
+		B: append([]float64(nil), base.B...),
+	}
+	for j, v := range fixed {
+		row := make([]float64, nv)
+		if v == 0 {
+			row[j] = 1 // x_j ≤ 0
+			prob.A = append(prob.A, row)
+			prob.B = append(prob.B, 0)
+		} else {
+			row[j] = -1 // −x_j ≤ −1, with x_j ≤ 1 already present
+			prob.A = append(prob.A, row)
+			prob.B = append(prob.B, -1)
+		}
+	}
+	return prob
+}
+
+// decode converts an integral solution into a schedule, dropping self-arc
+// storage pseudo-moves.
+func (p *Program) decode(x []float64) *core.Schedule {
+	sched := &core.Schedule{Steps: make([]core.Step, p.tau)}
+	for idx, v := range p.vars {
+		if v.from == v.to || x[idx] < 0.5 {
+			continue
+		}
+		sched.Steps[v.step-1] = append(sched.Steps[v.step-1],
+			core.Move{From: v.from, To: v.to, Token: v.token})
+	}
+	// Drop empty trailing steps.
+	for len(sched.Steps) > 0 && len(sched.Steps[len(sched.Steps)-1]) == 0 {
+		sched.Steps = sched.Steps[:len(sched.Steps)-1]
+	}
+	return sched
+}

@@ -1,0 +1,279 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs of the form
+//
+//	min cᵀx  subject to  Ax ≤ b,  x ≥ 0
+//
+// (rows with negative b are handled in phase one via artificial variables,
+// so ≥ and = constraints can be expressed by negation or row pairs). It is
+// the substrate for the time-indexed integer program of paper §3.4 — Go has
+// no ILP ecosystem, so internal/ilp branches and bounds on top of this
+// solver. Bland's rule guarantees termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota + 1
+	// Infeasible means no x ≥ 0 satisfies Ax ≤ b.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program in inequality standard form.
+type Problem struct {
+	// C is the objective coefficient vector (length = number of variables).
+	C []float64
+	// A is the constraint matrix, one row per constraint.
+	A [][]float64
+	// B is the right-hand side, one entry per constraint.
+	B []float64
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	// X is the optimal primal solution (valid only when Status == Optimal).
+	X []float64
+	// Objective is cᵀx at the optimum.
+	Objective float64
+}
+
+const eps = 1e-9
+
+// ErrDimensions indicates inconsistent problem dimensions.
+var ErrDimensions = errors.New("lp: inconsistent dimensions")
+
+// Solve runs two-phase primal simplex on the problem.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m {
+		return nil, fmt.Errorf("%w: %d rows but %d rhs entries", ErrDimensions, m, len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimensions, i, len(row), n)
+		}
+	}
+
+	// Tableau layout: columns [x (n) | slack (m) | artificial (k) | rhs].
+	// Row i: a_i·x + s_i = b_i. Rows with b_i < 0 are negated, which flips
+	// the slack coefficient to −1 (a surplus); those rows get an artificial
+	// basic variable for phase one.
+	var artRows []int
+	for i := 0; i < m; i++ {
+		if p.B[i] < 0 {
+			artRows = append(artRows, i)
+		}
+	}
+	k := len(artRows)
+	totalCols := n + m
+	width := totalCols + k + 1 // + rhs
+	rows := make([][]float64, m)
+	basis := make([]int, m)
+	art := 0
+	for i := 0; i < m; i++ {
+		row := make([]float64, width)
+		copy(row, p.A[i])
+		rhs := p.B[i]
+		sign := 1.0
+		if rhs < 0 {
+			sign = -1.0
+			rhs = -rhs
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+		}
+		row[n+i] = sign // slack (+1) or surplus (−1)
+		row[width-1] = rhs
+		if sign > 0 {
+			basis[i] = n + i
+		} else {
+			col := totalCols + art
+			art++
+			row[col] = 1
+			basis[i] = col
+		}
+		rows[i] = row
+	}
+
+	t := &tableau{rows: rows, basis: basis, width: width, nVars: n}
+
+	if k > 0 {
+		// Phase 1: minimize the sum of artificials.
+		phase1 := make([]float64, width-1)
+		for idx := 0; idx < k; idx++ {
+			phase1[totalCols+idx] = 1
+		}
+		if err := t.run(phase1); err != nil {
+			return nil, err
+		}
+		if t.objective(phase1) > eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i, b := range t.basis {
+			if b >= totalCols {
+				t.pivotOutArtificial(i, totalCols)
+			}
+		}
+		// Freeze artificial columns at zero.
+		t.frozenFrom = totalCols
+	} else {
+		t.frozenFrom = totalCols
+	}
+
+	// Phase 2: original objective.
+	phase2 := make([]float64, width-1)
+	copy(phase2, p.C)
+	if err := t.run(phase2); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.rows[i][width-1]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+type tableau struct {
+	rows       [][]float64
+	basis      []int
+	width      int // columns including rhs
+	nVars      int
+	frozenFrom int // columns ≥ frozenFrom are ineligible to enter
+}
+
+// reducedCosts computes c_j − c_Bᵀ B⁻¹ A_j for all columns given the
+// objective vector, using the current (already pivoted) tableau rows.
+func (t *tableau) reducedCosts(obj []float64) []float64 {
+	rc := make([]float64, t.width-1)
+	copy(rc, obj)
+	for i, b := range t.basis {
+		cb := obj[b]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.width-1; j++ {
+			rc[j] -= cb * t.rows[i][j]
+		}
+	}
+	return rc
+}
+
+func (t *tableau) objective(obj []float64) float64 {
+	total := 0.0
+	for i, b := range t.basis {
+		total += obj[b] * t.rows[i][t.width-1]
+	}
+	return total
+}
+
+// run performs primal simplex iterations with Bland's rule until optimal.
+func (t *tableau) run(obj []float64) error {
+	maxIter := 50 * (len(t.rows) + t.width)
+	for iter := 0; iter < maxIter; iter++ {
+		rc := t.reducedCosts(obj)
+		enter := -1
+		limit := t.width - 1
+		for j := 0; j < limit; j++ {
+			if t.frozenFrom > 0 && j >= t.frozenFrom {
+				break
+			}
+			if rc[j] < -eps {
+				enter = j // Bland: smallest index
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test (Bland: smallest basis index breaks ties).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := range t.rows {
+			a := t.rows[i][enter]
+			if a > eps {
+				ratio := t.rows[i][t.width-1] / a
+				if ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column `enter` basic in row `leave`.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.rows[leave]
+	pv := row[enter]
+	for j := range row {
+		row[j] /= pv
+	}
+	for i := range t.rows {
+		if i == leave {
+			continue
+		}
+		factor := t.rows[i][enter]
+		if factor == 0 {
+			continue
+		}
+		for j := range t.rows[i] {
+			t.rows[i][j] -= factor * row[j]
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// pivotOutArtificial replaces a basic artificial in row i with any
+// non-artificial column having a nonzero coefficient; if none exists the
+// row is redundant and left alone (its rhs is zero).
+func (t *tableau) pivotOutArtificial(i, artStart int) {
+	for j := 0; j < artStart; j++ {
+		if math.Abs(t.rows[i][j]) > eps {
+			t.pivot(i, j)
+			return
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package npc implements the paper's NP-hardness apparatus: a brute-force
+// Dominating Set solver and the appendix reduction from Dominating Set to
+// the Fast Overlay Content Distribution problem (Theorem 5, Figure 7).
+//
+// Given an undirected graph G on n vertices and an integer k, the reduction
+// builds a FOCD instance on 2n+2 vertices distributing tokens
+// {0} ∪ {1,…,n−k} such that G has a dominating set of size ≤ k iff the
+// instance completes in two timesteps. Both directions are exercised in the
+// tests and the Figure 7 experiment.
+package npc
+
+import (
+	"errors"
+	"fmt"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+)
+
+// UGraph is a simple undirected graph given as an adjacency structure,
+// the input format of the Dominating Set problem.
+type UGraph struct {
+	N     int
+	Edges [][2]int
+}
+
+// Validate checks vertex ranges and rejects self-loops.
+func (g *UGraph) Validate() error {
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= g.N || e[1] < 0 || e[1] >= g.N {
+			return fmt.Errorf("npc: edge %v out of range n=%d", e, g.N)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("npc: self-loop %v", e)
+		}
+	}
+	return nil
+}
+
+func (g *UGraph) adjacency() [][]bool {
+	adj := make([][]bool, g.N)
+	for i := range adj {
+		adj[i] = make([]bool, g.N)
+	}
+	for _, e := range g.Edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	return adj
+}
+
+// ErrTooLarge guards the exponential brute-force solver.
+var ErrTooLarge = errors.New("npc: graph too large for brute force")
+
+// MinDominatingSet returns a minimum dominating set of g by exhaustive
+// subset search (n ≤ 24).
+func MinDominatingSet(g *UGraph) ([]int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.N > 24 {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooLarge, g.N)
+	}
+	adj := g.adjacency()
+	full := (uint32(1) << uint(g.N)) - 1
+	// cover[v] = bitmask of v and its neighbours.
+	cover := make([]uint32, g.N)
+	for v := 0; v < g.N; v++ {
+		cover[v] = 1 << uint(v)
+		for u := 0; u < g.N; u++ {
+			if adj[v][u] {
+				cover[v] |= 1 << uint(u)
+			}
+		}
+	}
+	best := []int(nil)
+	for mask := uint32(0); mask <= full; mask++ {
+		if best != nil && popcount(mask) >= len(best) {
+			continue
+		}
+		var covered uint32
+		for v := 0; v < g.N; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				covered |= cover[v]
+			}
+		}
+		if covered == full {
+			set := make([]int, 0, popcount(mask))
+			for v := 0; v < g.N; v++ {
+				if mask&(1<<uint(v)) != 0 {
+					set = append(set, v)
+				}
+			}
+			best = set
+		}
+	}
+	return best, nil
+}
+
+// HasDominatingSet reports whether g has a dominating set of size ≤ k.
+func HasDominatingSet(g *UGraph, k int) (bool, []int, error) {
+	min, err := MinDominatingSet(g)
+	if err != nil {
+		return false, nil, err
+	}
+	if len(min) <= k {
+		return true, min, nil
+	}
+	return false, nil, nil
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Reduction holds the FOCD instance built from (G, k) together with the
+// vertex layout used by the appendix proof.
+type Reduction struct {
+	Inst *core.Instance
+	// S is the token source, T the collector of tokens {1..n−k}.
+	S, T int
+	// V[i] is the intermediary for original vertex i, VPrime[i] its
+	// satellite wanting token 0.
+	V, VPrime []int
+	// K is the dominating-set size bound.
+	K int
+}
+
+// Reduce builds the Theorem 5 instance: vertices {s, t} ∪ V ∪ V′, tokens
+// {0} ∪ {1,…,n−k}; s holds everything; t wants {1,…,n−k}; every v′_i wants
+// {0}; arcs s→v_i, v_i→t, v_i→v′_i (capacity 1) and v_i→v′_j for every
+// original edge (v_i, v_j).
+func Reduce(g *UGraph, k int) (*Reduction, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 0 || k > g.N {
+		return nil, fmt.Errorf("npc: k=%d out of range for n=%d", k, g.N)
+	}
+	n := g.N
+	numTokens := 1 + (n - k) // token 0 plus {1..n−k}
+	fg := graph.New(2*n + 2)
+	s, t := 0, 1
+	vs := make([]int, n)
+	vps := make([]int, n)
+	for i := 0; i < n; i++ {
+		vs[i] = 2 + i
+		vps[i] = 2 + n + i
+	}
+	for i := 0; i < n; i++ {
+		if err := fg.AddArc(s, vs[i], 1); err != nil {
+			return nil, err
+		}
+		if err := fg.AddArc(vs[i], t, 1); err != nil {
+			return nil, err
+		}
+		if err := fg.AddArc(vs[i], vps[i], 1); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range g.Edges {
+		if err := fg.AddArc(vs[e[0]], vps[e[1]], 1); err != nil {
+			return nil, err
+		}
+		if err := fg.AddArc(vs[e[1]], vps[e[0]], 1); err != nil {
+			return nil, err
+		}
+	}
+	inst := core.NewInstance(fg, numTokens)
+	inst.Have[s].AddRange(0, numTokens)
+	for tok := 1; tok < numTokens; tok++ {
+		inst.Want[t].Add(tok)
+	}
+	for i := 0; i < n; i++ {
+		inst.Want[vps[i]].Add(0)
+	}
+	return &Reduction{Inst: inst, S: s, T: t, V: vs, VPrime: vps, K: k}, nil
+}
+
+// ScheduleFromDominatingSet constructs the two-timestep schedule of the
+// completeness direction: dominating-set vertices receive token 0 in step
+// one and fan it out to the satellites in step two, while the remaining
+// n−k intermediaries relay tokens {1..n−k} to t.
+func (r *Reduction) ScheduleFromDominatingSet(g *UGraph, ds []int) (*core.Schedule, error) {
+	n := g.N
+	inDS := make([]bool, n)
+	for _, v := range ds {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("npc: dominating set vertex %d out of range", v)
+		}
+		inDS[v] = true
+	}
+	adj := g.adjacency()
+
+	var step1, step2 core.Step
+	tok := 1
+	for i := 0; i < n; i++ {
+		if inDS[i] {
+			step1 = append(step1, core.Move{From: r.S, To: r.V[i], Token: 0})
+		} else {
+			if tok > n-r.K {
+				// More non-DS vertices than relay tokens (|ds| < k): the
+				// extra intermediaries stay idle in step one.
+				continue
+			}
+			step1 = append(step1, core.Move{From: r.S, To: r.V[i], Token: tok})
+			step2 = append(step2, core.Move{From: r.V[i], To: r.T, Token: tok})
+			tok++
+		}
+	}
+	// Step two: every satellite pulls token 0 from a dominating neighbour
+	// (or its own intermediary if dominated by itself).
+	for i := 0; i < n; i++ {
+		from := -1
+		if inDS[i] {
+			from = r.V[i]
+		} else {
+			for j := 0; j < n; j++ {
+				if inDS[j] && adj[j][i] {
+					from = r.V[j]
+					break
+				}
+			}
+		}
+		if from == -1 {
+			return nil, fmt.Errorf("npc: vertex %d not dominated", i)
+		}
+		step2 = append(step2, core.Move{From: from, To: r.VPrime[i], Token: 0})
+	}
+	sched := &core.Schedule{}
+	sched.Append(step1)
+	sched.Append(step2)
+	return sched, nil
+}

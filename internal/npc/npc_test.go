@@ -1,0 +1,213 @@
+package npc
+
+import (
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/exact"
+)
+
+func star(n int) *UGraph {
+	g := &UGraph{N: n}
+	for i := 1; i < n; i++ {
+		g.Edges = append(g.Edges, [2]int{0, i})
+	}
+	return g
+}
+
+func path(n int) *UGraph {
+	g := &UGraph{N: n}
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, [2]int{i, i + 1})
+	}
+	return g
+}
+
+func complete(n int) *UGraph {
+	g := &UGraph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.Edges = append(g.Edges, [2]int{i, j})
+		}
+	}
+	return g
+}
+
+func TestMinDominatingSetKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *UGraph
+		want int
+	}{
+		{"star5", star(5), 1},
+		{"complete4", complete(4), 1},
+		{"path2", path(2), 1},
+		{"path3", path(3), 1},
+		{"path4", path(4), 2},
+		{"path7", path(7), 3}, // ceil(7/3)
+		{"isolated3", &UGraph{N: 3}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds, err := MinDominatingSet(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ds) != tc.want {
+				t.Errorf("|DS| = %d (%v), want %d", len(ds), ds, tc.want)
+			}
+			// Verify domination.
+			adj := tc.g.adjacency()
+			for v := 0; v < tc.g.N; v++ {
+				dominated := false
+				for _, d := range ds {
+					if d == v || adj[d][v] {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					t.Errorf("vertex %d not dominated by %v", v, ds)
+				}
+			}
+		})
+	}
+}
+
+func TestMinDominatingSetErrors(t *testing.T) {
+	if _, err := MinDominatingSet(&UGraph{N: 30}); err == nil {
+		t.Error("oversized graph accepted")
+	}
+	if _, err := MinDominatingSet(&UGraph{N: 2, Edges: [][2]int{{0, 5}}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := MinDominatingSet(&UGraph{N: 2, Edges: [][2]int{{1, 1}}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestHasDominatingSet(t *testing.T) {
+	ok, ds, err := HasDominatingSet(path(4), 2)
+	if err != nil || !ok || len(ds) > 2 {
+		t.Errorf("path4 k=2: ok=%v ds=%v err=%v", ok, ds, err)
+	}
+	ok, _, err = HasDominatingSet(path(4), 1)
+	if err != nil || ok {
+		t.Errorf("path4 k=1 should fail: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	g := path(4)
+	red, err := Reduce(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := red.Inst
+	if inst.N() != 2*4+2 {
+		t.Errorf("reduction has %d vertices, want 10", inst.N())
+	}
+	if inst.NumTokens != 1+(4-2) {
+		t.Errorf("reduction has %d tokens, want 3", inst.NumTokens)
+	}
+	if err := inst.Check(); err != nil {
+		t.Fatalf("reduced instance inconsistent: %v", err)
+	}
+	// s holds everything, t wants the relay tokens, satellites want 0.
+	if inst.Have[red.S].Count() != inst.NumTokens {
+		t.Error("source does not hold all tokens")
+	}
+	if inst.Want[red.T].Count() != inst.NumTokens-1 {
+		t.Error("collector wants wrong token count")
+	}
+	for _, vp := range red.VPrime {
+		if !inst.Want[vp].Has(0) || inst.Want[vp].Count() != 1 {
+			t.Error("satellite wants wrong set")
+		}
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	if _, err := Reduce(path(3), -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := Reduce(path(3), 4); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestConstructiveDirection(t *testing.T) {
+	// For graphs with known dominating sets, the proof's 2-step schedule
+	// must validate.
+	for _, tc := range []struct {
+		name string
+		g    *UGraph
+	}{
+		{"star6", star(6)}, {"path5", path(5)}, {"complete4", complete(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds, err := MinDominatingSet(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			red, err := Reduce(tc.g, len(ds))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := red.ScheduleFromDominatingSet(tc.g, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sched.Makespan() != 2 {
+				t.Errorf("constructed schedule takes %d steps, want 2", sched.Makespan())
+			}
+			if err := core.Validate(red.Inst, sched); err != nil {
+				t.Errorf("constructed schedule invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestTheorem5BothDirectionsExhaustive(t *testing.T) {
+	// Exhaustively check the iff on every 4-vertex undirected graph
+	// (64 edge subsets) for every k: DS(G) ≤ k ⇔ FOCD(reduce(G,k)) ≤ 2.
+	allEdges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for mask := 0; mask < 1<<6; mask++ {
+		g := &UGraph{N: 4}
+		for i, e := range allEdges {
+			if mask&(1<<i) != 0 {
+				g.Edges = append(g.Edges, e)
+			}
+		}
+		minDS, err := MinDominatingSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 4; k++ {
+			red, err := Reduce(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hasDS := len(minDS) <= k
+			if hasDS {
+				sched, err := red.ScheduleFromDominatingSet(g, minDS)
+				if err != nil {
+					t.Fatalf("mask=%d k=%d: construct: %v", mask, k, err)
+				}
+				if err := core.Validate(red.Inst, sched); err != nil {
+					t.Fatalf("mask=%d k=%d: constructed schedule invalid: %v", mask, k, err)
+				}
+			} else {
+				// Soundness: no 2-step schedule may exist.
+				sched, err := exact.SolveFOCD(red.Inst, exact.Options{MaxNodes: 3_000_000})
+				if err != nil {
+					t.Fatalf("mask=%d k=%d: focd: %v", mask, k, err)
+				}
+				if sched.Makespan() <= 2 {
+					t.Errorf("mask=%d k=%d: FOCD completed in %d steps but no DS of size %d exists",
+						mask, k, sched.Makespan(), k)
+				}
+			}
+		}
+	}
+}

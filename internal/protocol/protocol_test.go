@@ -1,0 +1,104 @@
+package protocol
+
+import (
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+func TestProtocolLocalCompletesAndValidates(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g, err := topology.Random(25, topology.DefaultCaps, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := workload.SingleFile(g, 20)
+		res, err := sim.Run(inst, Local, sim.Options{
+			Seed: seed, Prune: true, IdlePatience: g.Diameter() + 2,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: incomplete", seed)
+		}
+		if err := core.Validate(inst, res.Schedule); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+		if res.Rejected != 0 {
+			t.Errorf("seed %d: %d rejected moves — stale beliefs should always be valid (possession is monotone)",
+				seed, res.Rejected)
+		}
+	}
+}
+
+func TestProtocolLocalFirstTurnIsIdle(t *testing.T) {
+	// At turn 0 no vertex has heard from any neighbor yet, so nothing can
+	// be requested: the first turn must be idle (the §4.1 bootstrap).
+	g, err := topology.Line(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 4)
+	res, err := sim.Run(inst, Local, sim.Options{Seed: 1, IdlePatience: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Steps) == 0 || len(res.Schedule.Steps[0]) != 0 {
+		t.Errorf("first turn was not idle: %v", res.Schedule.Steps[0])
+	}
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestProtocolLagsIdealizedLocal(t *testing.T) {
+	// The honest message-passing variant can never beat the idealized
+	// instant-aggregate Local on turns (aggregate over seeds), and the gap
+	// stays within a small multiple of the knowledge diameter.
+	g, err := topology.Random(30, topology.DefaultCaps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 24)
+	idealTotal, protoTotal := 0, 0
+	for seed := int64(0); seed < 3; seed++ {
+		ideal, err := sim.Run(inst, heuristics.Local, sim.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := sim.Run(inst, Local, sim.Options{
+			Seed: seed, IdlePatience: g.Diameter() + 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idealTotal += ideal.Steps
+		protoTotal += proto.Steps
+	}
+	if protoTotal < idealTotal {
+		t.Errorf("protocol variant (%d total turns) beat the idealized one (%d)",
+			protoTotal, idealTotal)
+	}
+}
+
+func TestProtocolLocalSparseWants(t *testing.T) {
+	g, err := topology.TransitStubN(25, topology.DefaultCaps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.ReceiverDensity(g, 12, 0.3, 9)
+	res, err := sim.Run(inst, Local, sim.Options{
+		Seed: 2, IdlePatience: g.Diameter() + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("incomplete on sparse wants")
+	}
+}

@@ -1,0 +1,220 @@
+// Package sim executes distribution strategies over OCD instances one
+// timestep at a time, producing schedules in the §3.1 model.
+//
+// The engine owns the ground truth (current possession per vertex) and
+// enforces the Capacity and Possession constraints on whatever a strategy
+// proposes, so a buggy strategy cannot produce an invalid schedule — the
+// offending moves are rejected and reported in the run statistics. Each
+// heuristic in internal/heuristics declares the knowledge it relies on
+// (§4.1/§5.1) through the view it reads; the engine simply hands out a
+// read-only view of the state.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/tokenset"
+)
+
+// State is the read-only view a strategy receives each timestep.
+//
+// Which fields a strategy may consult is a modelling decision documented on
+// the strategy itself: Round Robin only reads Possess[v] for its own v;
+// Random additionally reads the possession of out-neighbors; Local reads
+// the global aggregate vectors; Bandwidth and Global read everything
+// (they are the paper's global-knowledge heuristics).
+type State struct {
+	Inst *core.Instance
+	// Possess is the current possession p_i(v) per vertex. Strategies must
+	// not mutate these sets.
+	Possess []tokenset.Set
+	// Step is the index of the timestep being planned (0-based).
+	Step int
+	// Rand is the per-run PRNG for randomized strategies.
+	Rand *rand.Rand
+}
+
+// Missing returns w(v) \ p(v) for vertex v as a fresh set.
+func (s *State) Missing(v int) tokenset.Set {
+	return s.Inst.Want[v].Difference(s.Possess[v])
+}
+
+// Lacking returns T \ p(v): every token v does not yet possess.
+func (s *State) Lacking(v int) tokenset.Set {
+	full := tokenset.Full(s.Inst.NumTokens)
+	full.DifferenceWith(s.Possess[v])
+	return full
+}
+
+// Strategy plans the moves of one timestep. Implementations may keep
+// per-run state (e.g. Round Robin's per-arc cursor); a fresh Strategy is
+// created for every run via its Factory.
+type Strategy interface {
+	// Name identifies the heuristic in tables and logs.
+	Name() string
+	// Plan returns the moves to attempt this timestep. The engine clips
+	// them against capacity and possession.
+	Plan(st *State) []core.Move
+}
+
+// Factory creates a fresh strategy instance for a run. Strategies that
+// precompute static structure (e.g. all-pairs distances for Bandwidth)
+// do so here.
+type Factory func(inst *core.Instance, rng *rand.Rand) (Strategy, error)
+
+// Result summarizes a completed run.
+type Result struct {
+	Strategy string
+	Schedule *core.Schedule
+	// Completed reports whether every want set was satisfied within the
+	// step limit.
+	Completed bool
+	// Steps is the makespan (number of timesteps used).
+	Steps int
+	// Moves is the bandwidth consumed (total moves).
+	Moves int
+	// PrunedMoves is the bandwidth after the §5.1 pruning post-pass.
+	PrunedMoves int
+	// Rejected counts strategy-proposed moves the engine had to discard
+	// for violating capacity or possession. Zero for correct strategies.
+	Rejected int
+	// Lost counts accepted moves dropped by the loss model (Options.
+	// LossRate); they consumed capacity but delivered nothing.
+	Lost int
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps caps the schedule length. Zero means the Theorem 1 horizon
+	// m·(n−1).
+	MaxSteps int
+	// Seed seeds the run's PRNG.
+	Seed int64
+	// Prune controls whether Result.PrunedMoves is computed.
+	Prune bool
+	// IdlePatience is the number of consecutive zero-move timesteps
+	// tolerated before the run is declared stalled. Idle steps count
+	// toward the makespan; the §4.2 "propagate knowledge, then plan"
+	// oracle relies on this to model its diameter-long listening phase.
+	IdlePatience int
+	// LossRate, when positive, drops each accepted move with this
+	// probability before delivery (the §6 "lossy channels" open problem).
+	// Lost moves consume capacity and count as bandwidth and in
+	// Result.Lost, but deliver nothing; the schedule records only the
+	// successful moves so it always validates against the static model.
+	LossRate float64
+	// Done overrides the completion predicate (default: every want set is
+	// satisfied). The §6 encoding extension uses this for "any k of n
+	// coded tokens" semantics.
+	Done func(inst *core.Instance, possess []tokenset.Set) bool
+}
+
+// ErrStalled is returned when a strategy makes no progress for a full
+// timestep while wants remain unsatisfied (the engine also stops at
+// MaxSteps without this error, reporting Completed=false).
+var ErrStalled = errors.New("sim: strategy stalled with unsatisfied wants")
+
+// Run executes the strategy produced by factory on inst until every want is
+// satisfied or the step limit is reached.
+func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
+	if err := inst.Check(); err != nil {
+		return nil, err
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		// Theorem 1 horizon plus the permitted idle prefix.
+		maxSteps = inst.TheoremOneHorizon() + opts.IdlePatience
+		if maxSteps < 1 {
+			maxSteps = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	strat, err := factory(inst, rng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: create strategy: %w", err)
+	}
+
+	st := &State{
+		Inst:    inst,
+		Possess: inst.InitialPossession(),
+		Rand:    rng,
+	}
+	res := &Result{Strategy: strat.Name(), Schedule: &core.Schedule{}}
+	used := make(map[[2]int]int)
+	idle := 0
+	done := opts.Done
+	if done == nil {
+		done = core.Done
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		if done(inst, st.Possess) {
+			break
+		}
+		st.Step = step
+		proposed := strat.Plan(st)
+		for k := range used {
+			delete(used, k)
+		}
+		var accepted core.Step
+		for _, mv := range proposed {
+			if !admissible(st, used, mv) {
+				res.Rejected++
+				continue
+			}
+			used[[2]int{mv.From, mv.To}]++
+			accepted = append(accepted, mv)
+		}
+		if len(accepted) == 0 {
+			idle++
+			if idle > opts.IdlePatience {
+				return res, fmt.Errorf("%w: step %d, strategy %s", ErrStalled, step, strat.Name())
+			}
+			res.Schedule.Append(accepted)
+			continue
+		}
+		idle = 0
+		// Apply the §6 loss model: lost moves burned capacity and
+		// bandwidth but deliver nothing and are not recorded, so the
+		// schedule stays valid under the lossless formal model.
+		var delivered core.Step
+		for _, mv := range accepted {
+			if opts.LossRate > 0 && rng.Float64() < opts.LossRate {
+				res.Lost++
+				continue
+			}
+			delivered = append(delivered, mv)
+		}
+		for _, mv := range delivered {
+			st.Possess[mv.To].Add(mv.Token)
+		}
+		res.Schedule.Append(delivered)
+	}
+
+	res.Completed = done(inst, st.Possess)
+	res.Steps = res.Schedule.Makespan()
+	res.Moves = res.Schedule.Moves() + res.Lost
+	if opts.Prune && res.Completed {
+		res.PrunedMoves = core.Prune(inst, res.Schedule).Moves()
+	}
+	return res, nil
+}
+
+// admissible checks a single proposed move against the model constraints
+// given the arc usage so far this timestep.
+func admissible(st *State, used map[[2]int]int, mv core.Move) bool {
+	if mv.Token < 0 || mv.Token >= st.Inst.NumTokens {
+		return false
+	}
+	capacity := st.Inst.G.Cap(mv.From, mv.To)
+	if capacity == 0 {
+		return false
+	}
+	if used[[2]int{mv.From, mv.To}] >= capacity {
+		return false
+	}
+	return st.Possess[mv.From].Has(mv.Token)
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+	"ocd/internal/tokenset"
+)
+
+// lineInstance is 0→1→…→n−1 with capacity c; vertex 0 holds m tokens,
+// the tail wants them all.
+func lineInstance(t *testing.T, n, m, c int) *core.Instance {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddArc(i, i+1, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst := core.NewInstance(g, m)
+	inst.Have[0].AddRange(0, m)
+	inst.Want[n-1].AddRange(0, m)
+	return inst
+}
+
+// pusher is a minimal correct strategy: every vertex sends every useful
+// token to each successor up to capacity.
+type pusher struct{}
+
+func (pusher) Name() string { return "pusher" }
+
+func (pusher) Plan(st *State) []core.Move {
+	var moves []core.Move
+	for u := 0; u < st.Inst.N(); u++ {
+		for _, a := range st.Inst.G.Out(u) {
+			sent := 0
+			st.Possess[u].ForEach(func(tok int) bool {
+				if sent >= a.Cap {
+					return false
+				}
+				if !st.Possess[a.To].Has(tok) {
+					moves = append(moves, core.Move{From: u, To: a.To, Token: tok})
+					sent++
+				}
+				return true
+			})
+		}
+	}
+	return moves
+}
+
+func pusherFactory(_ *core.Instance, _ *rand.Rand) (Strategy, error) {
+	return pusher{}, nil
+}
+
+func TestRunCompletesAndValidates(t *testing.T) {
+	inst := lineInstance(t, 4, 3, 2)
+	res, err := Run(inst, pusherFactory, Options{Seed: 1, Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	if err := core.Validate(inst, res.Schedule); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	// 3 tokens over 3 hops at capacity 2: steps = 3 hops + 1 extra for the
+	// second batch ≥ 4; just sanity-check metrics agree with the schedule.
+	if res.Steps != res.Schedule.Makespan() || res.Moves != res.Schedule.Moves() {
+		t.Error("result metrics disagree with schedule")
+	}
+	if res.PrunedMoves == 0 || res.PrunedMoves > res.Moves {
+		t.Errorf("pruned moves %d out of range (moves %d)", res.PrunedMoves, res.Moves)
+	}
+	if res.Rejected != 0 {
+		t.Errorf("correct strategy had %d rejected moves", res.Rejected)
+	}
+}
+
+// violator proposes moves that break possession and capacity; the engine
+// must clip them and count rejections.
+type violator struct{}
+
+func (violator) Name() string { return "violator" }
+
+func (violator) Plan(st *State) []core.Move {
+	return []core.Move{
+		{From: 1, To: 2, Token: 0},  // vertex 1 has nothing on step 0
+		{From: 0, To: 1, Token: 0},  // fine
+		{From: 0, To: 1, Token: 0},  // duplicate but within capacity 2
+		{From: 0, To: 1, Token: 99}, // token out of range
+		{From: 0, To: 2, Token: 0},  // arc does not exist
+	}
+}
+
+func TestRunRejectsIllegalMoves(t *testing.T) {
+	inst := lineInstance(t, 3, 1, 2)
+	res, err := Run(inst, func(*core.Instance, *rand.Rand) (Strategy, error) {
+		return violator{}, nil
+	}, Options{Seed: 1})
+	// The violator eventually completes: its legal move is delivered each
+	// step and vertex 1 starts sending once it holds the token... it never
+	// sends 1→2 legally? It always proposes (1,2,0): once vertex 1 holds
+	// token 0 that move becomes legal.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("violator run did not complete")
+	}
+	if res.Rejected == 0 {
+		t.Error("no rejected moves counted")
+	}
+	if err := core.Validate(inst, res.Schedule); err != nil {
+		t.Fatalf("engine emitted invalid schedule: %v", err)
+	}
+}
+
+// silent never proposes anything.
+type silent struct{}
+
+func (silent) Name() string            { return "silent" }
+func (silent) Plan(*State) []core.Move { return nil }
+
+func TestRunStallDetection(t *testing.T) {
+	inst := lineInstance(t, 3, 1, 1)
+	_, err := Run(inst, func(*core.Instance, *rand.Rand) (Strategy, error) {
+		return silent{}, nil
+	}, Options{Seed: 1})
+	if !errors.Is(err, ErrStalled) {
+		t.Errorf("want ErrStalled, got %v", err)
+	}
+}
+
+// lazy idles for `wait` steps, then behaves like pusher.
+type lazy struct {
+	wait int
+}
+
+func (l *lazy) Name() string { return "lazy" }
+
+func (l *lazy) Plan(st *State) []core.Move {
+	if st.Step < l.wait {
+		return nil
+	}
+	return pusher{}.Plan(st)
+}
+
+func TestRunIdlePatience(t *testing.T) {
+	inst := lineInstance(t, 3, 1, 1)
+	factory := func(*core.Instance, *rand.Rand) (Strategy, error) {
+		return &lazy{wait: 3}, nil
+	}
+	if _, err := Run(inst, factory, Options{Seed: 1, IdlePatience: 1}); !errors.Is(err, ErrStalled) {
+		t.Errorf("patience 1 should stall, got %v", err)
+	}
+	res, err := Run(inst, factory, Options{Seed: 1, IdlePatience: 3})
+	if err != nil {
+		t.Fatalf("patience 3 failed: %v", err)
+	}
+	if !res.Completed {
+		t.Error("lazy run did not complete")
+	}
+	// Idle steps count toward the makespan.
+	if res.Steps != 3+2 {
+		t.Errorf("makespan = %d, want 5 (3 idle + 2 hops)", res.Steps)
+	}
+}
+
+func TestRunAlreadyDone(t *testing.T) {
+	inst := lineInstance(t, 3, 1, 1)
+	inst.Want[2].Clear() // nobody wants anything
+	res, err := Run(inst, pusherFactory, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Steps != 0 || res.Moves != 0 {
+		t.Errorf("trivially-done run: %+v", res)
+	}
+}
+
+func TestRunMaxStepsBound(t *testing.T) {
+	inst := lineInstance(t, 5, 1, 1)
+	res, err := Run(inst, pusherFactory, Options{Seed: 1, MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("completed despite tiny step budget")
+	}
+	if res.Steps > 2 {
+		t.Errorf("ran %d steps, limit 2", res.Steps)
+	}
+}
+
+func TestRunRejectsBrokenInstance(t *testing.T) {
+	inst := lineInstance(t, 3, 1, 1)
+	inst.Have[0].Clear() // wanted token held by nobody
+	if _, err := Run(inst, pusherFactory, Options{Seed: 1}); err == nil {
+		t.Error("broken instance accepted")
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	inst := lineInstance(t, 3, 4, 1)
+	inst.Want[1].Add(2)
+	st := &State{Inst: inst, Possess: inst.InitialPossession()}
+	if got := st.Missing(1).Slice(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Missing(1) = %v", got)
+	}
+	if got := st.Lacking(0).Count(); got != 0 {
+		t.Errorf("Lacking(source) = %d tokens", got)
+	}
+	if got := st.Lacking(2).Count(); got != 4 {
+		t.Errorf("Lacking(2) = %d, want 4", got)
+	}
+}
+
+func TestFactoryErrorPropagates(t *testing.T) {
+	inst := lineInstance(t, 3, 1, 1)
+	_, err := Run(inst, func(*core.Instance, *rand.Rand) (Strategy, error) {
+		return nil, errors.New("boom")
+	}, Options{Seed: 1})
+	if err == nil {
+		t.Error("factory error swallowed")
+	}
+}
+
+func TestRunLossModel(t *testing.T) {
+	// With 50% loss on a single link, bandwidth includes the lost moves
+	// and the recorded schedule still validates (only successful moves
+	// are recorded).
+	inst := lineInstance(t, 2, 20, 4)
+	res, err := Run(inst, pusherFactory, Options{
+		Seed: 9, LossRate: 0.5, MaxSteps: 500, IdlePatience: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("lossy run incomplete")
+	}
+	if res.Lost == 0 {
+		t.Error("no losses at 50% loss rate")
+	}
+	if res.Moves != res.Schedule.Moves()+res.Lost {
+		t.Errorf("bandwidth accounting: %d != %d + %d",
+			res.Moves, res.Schedule.Moves(), res.Lost)
+	}
+	if err := core.Validate(inst, res.Schedule); err != nil {
+		t.Fatalf("lossy schedule invalid: %v", err)
+	}
+}
+
+func TestRunLossZeroIsLossless(t *testing.T) {
+	inst := lineInstance(t, 3, 5, 2)
+	res, err := Run(inst, pusherFactory, Options{Seed: 1, LossRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Errorf("lost %d moves at zero loss rate", res.Lost)
+	}
+}
+
+func TestRunCustomDone(t *testing.T) {
+	// Stop as soon as vertex 1 holds 2 of the 4 tokens (a threshold
+	// predicate, the §6 coding hook).
+	inst := lineInstance(t, 2, 4, 1)
+	res, err := Run(inst, pusherFactory, Options{
+		Seed: 1,
+		Done: func(in *core.Instance, possess []tokenset.Set) bool {
+			return possess[1].Count() >= 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("custom-done run incomplete")
+	}
+	if res.Steps != 2 {
+		t.Errorf("steps = %d, want 2 (capacity 1, threshold 2)", res.Steps)
+	}
+}

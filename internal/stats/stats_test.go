@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !approx(s.Mean, 2.5) || !approx(s.Min, 1) || !approx(s.Max, 4) {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample stddev of 1..4 is sqrt(5/3).
+	if !approx(s.Stddev, math.Sqrt(5.0/3.0)) {
+		t.Errorf("stddev = %f", s.Stddev)
+	}
+	if !approx(s.Median, 2.5) {
+		t.Errorf("median = %f", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{5, 1, 9})
+	if !approx(s.Median, 5) {
+		t.Errorf("median = %f, want 5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || !approx(s.Mean, 7) || !approx(s.Stddev, 0) || !approx(s.Median, 7) {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4})
+	if !approx(s.Mean, 3) {
+		t.Errorf("mean = %f", s.Mean)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input reordered")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Summarize([]float64{1, 2}).String()
+	if !strings.Contains(got, "mean=1.50") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,259 @@
+// Package steiner implements the Steiner-tree machinery §3.3 relates to
+// EOCD: distributing one token with minimum bandwidth is exactly a
+// generalized Steiner tree from the token's sources to its wanters over
+// unit-cost arcs (multiple sources are handled with the paper's 0-cost
+// merge trick, realized here as a virtual root).
+//
+// The package provides the classical metric-closure 2-approximation and a
+// serial per-token schedule builder that realizes §3.3's observation that
+// optimal bandwidth is achievable by distributing each token serially over
+// its tree (at the price of many timesteps).
+package steiner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ocd/internal/core"
+	"ocd/internal/graph"
+)
+
+// ErrUnreachable indicates some terminal cannot be reached from any source.
+var ErrUnreachable = errors.New("steiner: terminal unreachable from sources")
+
+// Tree is a set of arcs forming an out-tree (or forest rooted at the
+// sources) covering all terminals.
+type Tree struct {
+	Arcs []graph.Arc
+}
+
+// Cost returns the number of arcs (unit-cost bandwidth of one token).
+func (t *Tree) Cost() int { return len(t.Arcs) }
+
+// Approximate computes a Steiner tree connecting sources to every terminal
+// using the metric-closure 2-approximation: build shortest-path distances
+// from the (virtually merged) sources and between terminals, take a minimum
+// spanning tree of the metric closure over {root} ∪ terminals, and expand
+// its edges into shortest paths, de-duplicating shared arcs.
+func Approximate(g *graph.Graph, sources, terminals []int) (*Tree, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("steiner: no sources")
+	}
+	// Hop distances from the merged source set.
+	srcDist, srcPrev := multiSourceBFS(g, sources)
+	for _, t := range terminals {
+		if srcDist[t] < 0 {
+			return nil, fmt.Errorf("%w: terminal %d", ErrUnreachable, t)
+		}
+	}
+
+	// Nodes of the metric closure: virtual root (−1) plus terminals.
+	type edge struct {
+		u, v int // closure endpoints; −1 is the root
+		w    int
+	}
+	var edges []edge
+	for _, t := range terminals {
+		edges = append(edges, edge{u: -1, v: t, w: srcDist[t]})
+	}
+	termDist := make(map[int][]int, len(terminals))
+	termPrev := make(map[int][]int, len(terminals))
+	for _, t := range terminals {
+		d, prev := singleSourceBFS(g, t)
+		termDist[t] = d
+		termPrev[t] = prev
+	}
+	for i, a := range terminals {
+		for _, b := range terminals[i+1:] {
+			if d := termDist[a][b]; d >= 0 {
+				edges = append(edges, edge{u: a, v: b, w: d})
+			}
+			if d := termDist[b][a]; d >= 0 {
+				edges = append(edges, edge{u: b, v: a, w: d})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+
+	// Prim-like growth from the root over the closure, directed outward.
+	inTree := map[int]bool{-1: true}
+	arcSet := make(map[[2]int]bool)
+	for len(inTree) < len(terminals)+1 {
+		grown := false
+		for _, e := range edges {
+			if inTree[e.u] && !inTree[e.v] {
+				// Expand e into graph arcs along the shortest path.
+				var path [][2]int
+				if e.u == -1 {
+					path = walk(srcPrev, e.v)
+				} else {
+					path = walkFrom(termPrev[e.u], e.v)
+				}
+				for _, arc := range path {
+					arcSet[arc] = true
+				}
+				inTree[e.v] = true
+				grown = true
+				break
+			}
+		}
+		if !grown {
+			return nil, fmt.Errorf("%w: closure disconnected", ErrUnreachable)
+		}
+	}
+
+	tree := &Tree{}
+	for arc := range arcSet {
+		tree.Arcs = append(tree.Arcs, graph.Arc{From: arc[0], To: arc[1], Cap: g.Cap(arc[0], arc[1])})
+	}
+	sort.Slice(tree.Arcs, func(i, j int) bool {
+		if tree.Arcs[i].From != tree.Arcs[j].From {
+			return tree.Arcs[i].From < tree.Arcs[j].From
+		}
+		return tree.Arcs[i].To < tree.Arcs[j].To
+	})
+	return tree, nil
+}
+
+// multiSourceBFS returns distances and BFS predecessors from a merged
+// source set, following arc direction.
+func multiSourceBFS(g *graph.Graph, sources []int) (dist, prev []int) {
+	n := g.N()
+	dist = make([]int, n)
+	prev = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		prev[i] = -1
+	}
+	var queue []int
+	for _, s := range sources {
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.Out(u) {
+			if dist[a.To] == -1 {
+				dist[a.To] = dist[u] + 1
+				prev[a.To] = u
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist, prev
+}
+
+func singleSourceBFS(g *graph.Graph, src int) (dist, prev []int) {
+	return multiSourceBFS(g, []int{src})
+}
+
+// walk reconstructs the arc list from a BFS predecessor array down to v.
+func walk(prev []int, v int) [][2]int {
+	var arcs [][2]int
+	for prev[v] != -1 {
+		arcs = append(arcs, [2]int{prev[v], v})
+		v = prev[v]
+	}
+	return arcs
+}
+
+func walkFrom(prev []int, v int) [][2]int { return walk(prev, v) }
+
+// SerialSchedule realizes §3.3: distribute each token serially over its
+// (approximate) Steiner tree — bandwidth near-optimal, makespan awful. The
+// returned schedule moves one token along one tree level per timestep,
+// token after token.
+func SerialSchedule(inst *core.Instance) (*core.Schedule, error) {
+	sched := &core.Schedule{}
+	for t := 0; t < inst.NumTokens; t++ {
+		var sources, terminals []int
+		for v := 0; v < inst.N(); v++ {
+			if inst.Have[v].Has(t) {
+				sources = append(sources, v)
+			}
+			if inst.Want[v].Has(t) && !inst.Have[v].Has(t) {
+				terminals = append(terminals, v)
+			}
+		}
+		if len(terminals) == 0 {
+			continue
+		}
+		tree, err := Approximate(inst.G, sources, terminals)
+		if err != nil {
+			return nil, fmt.Errorf("token %d: %w", t, err)
+		}
+		appendTreeSchedule(sched, inst, tree, t, sources)
+	}
+	return sched, nil
+}
+
+// appendTreeSchedule appends the level-by-level distribution of token t
+// over the tree to the schedule.
+func appendTreeSchedule(sched *core.Schedule, inst *core.Instance, tree *Tree, t int, sources []int) {
+	has := make([]bool, inst.N())
+	for _, s := range sources {
+		has[s] = true
+	}
+	remaining := append([]graph.Arc(nil), tree.Arcs...)
+	for len(remaining) > 0 {
+		var step core.Step
+		var rest []graph.Arc
+		for _, a := range remaining {
+			if has[a.From] && !has[a.To] {
+				step = append(step, core.Move{From: a.From, To: a.To, Token: t})
+			} else {
+				rest = append(rest, a)
+			}
+		}
+		if len(step) == 0 {
+			// Arcs whose heads are already covered (shared-path overlap) or
+			// unreachable leftovers; drop them.
+			break
+		}
+		for _, mv := range step {
+			has[mv.To] = true
+		}
+		sched.Append(step)
+		remaining = rest
+	}
+}
+
+// TokenBandwidthLB sums, over all tokens, the merged-source BFS distance
+// based lower bound on tree cost: a Steiner tree for k terminals costs at
+// least max(farthest terminal distance, k). This is a quick certified
+// lower bound on EOCD used to sanity-check the approximation.
+func TokenBandwidthLB(inst *core.Instance) int {
+	total := 0
+	for t := 0; t < inst.NumTokens; t++ {
+		var sources []int
+		var terminals []int
+		for v := 0; v < inst.N(); v++ {
+			if inst.Have[v].Has(t) {
+				sources = append(sources, v)
+			}
+			if inst.Want[v].Has(t) && !inst.Have[v].Has(t) {
+				terminals = append(terminals, v)
+			}
+		}
+		if len(terminals) == 0 || len(sources) == 0 {
+			continue
+		}
+		dist, _ := multiSourceBFS(inst.G, sources)
+		far := 0
+		for _, term := range terminals {
+			if dist[term] > far {
+				far = dist[term]
+			}
+		}
+		lb := len(terminals)
+		if far > lb {
+			lb = far
+		}
+		total += lb
+	}
+	return total
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+// FuzzDecodeInstance hardens the decoder against hostile input: it must
+// never panic, and whenever it succeeds the result must satisfy the
+// instance invariants (Check).
+func FuzzDecodeInstance(f *testing.F) {
+	f.Add(`{"vertices":2,"numTokens":1,"arcs":[{"from":0,"to":1,"cap":1}],"have":[[0],[]],"want":[[],[0]]}`)
+	f.Add(`{"vertices":0,"numTokens":0,"arcs":[],"have":[],"want":[]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"vertices":-5}`)
+	f.Add(`{"vertices":3,"numTokens":2,"arcs":[{"from":9,"to":1,"cap":1}],"have":[[],[],[]],"want":[[],[],[]]}`)
+	// A real serialized instance as a corpus seed.
+	g, err := topology.Random(6, topology.DefaultCaps, 1)
+	if err == nil {
+		var buf bytes.Buffer
+		if EncodeInstance(&buf, workload.SingleFile(g, 3)) == nil {
+			f.Add(buf.String())
+		}
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		inst, err := DecodeInstance(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if cerr := inst.Check(); cerr != nil {
+			t.Errorf("decoder accepted an inconsistent instance: %v", cerr)
+		}
+	})
+}
+
+// FuzzDecodeSchedule hardens the schedule decoder the same way.
+func FuzzDecodeSchedule(f *testing.F) {
+	f.Add(`{"steps":[[{"from":0,"to":1,"token":0}]]}`)
+	f.Add(`{"steps":[]}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, body string) {
+		sched, err := DecodeSchedule(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		// Metrics must be callable on anything the decoder accepts.
+		_ = sched.Makespan()
+		_ = sched.Moves()
+	})
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	g, err := topology.Random(15, topology.DefaultCaps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.ReceiverDensity(g, 9, 0.5, 4)
+
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != inst.N() || got.NumTokens != inst.NumTokens {
+		t.Fatalf("dimensions changed: %d/%d vs %d/%d",
+			got.N(), got.NumTokens, inst.N(), inst.NumTokens)
+	}
+	if got.G.NumArcs() != inst.G.NumArcs() {
+		t.Error("arc count changed")
+	}
+	for _, a := range inst.G.Arcs() {
+		if got.G.Cap(a.From, a.To) != a.Cap {
+			t.Errorf("cap(%d,%d) changed", a.From, a.To)
+		}
+	}
+	for v := 0; v < inst.N(); v++ {
+		if !got.Have[v].Equal(inst.Have[v]) || !got.Want[v].Equal(inst.Want[v]) {
+			t.Errorf("vertex %d sets changed", v)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	g, err := topology.Random(12, topology.DefaultCaps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 6)
+	res, err := sim.Run(inst, heuristics.Local, sim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeSchedule(&buf, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan() != res.Schedule.Makespan() || got.Moves() != res.Schedule.Moves() {
+		t.Fatal("schedule metrics changed in round trip")
+	}
+	// The decoded schedule must still validate against the instance.
+	if err := core.Validate(inst, got); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+}
+
+func TestDecodeInstanceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"negative dims":   `{"vertices":-1,"numTokens":2,"arcs":[],"have":[],"want":[]}`,
+		"mismatched have": `{"vertices":2,"numTokens":1,"arcs":[],"have":[[0]],"want":[[],[]]}`,
+		"bad arc":         `{"vertices":2,"numTokens":1,"arcs":[{"from":0,"to":5,"cap":1}],"have":[[0],[]],"want":[[],[]]}`,
+		"bad token":       `{"vertices":2,"numTokens":1,"arcs":[{"from":0,"to":1,"cap":1}],"have":[[7],[]],"want":[[],[]]}`,
+		"orphan want":     `{"vertices":2,"numTokens":1,"arcs":[{"from":0,"to":1,"cap":1}],"have":[[],[]],"want":[[],[0]]}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeInstance(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDecodeScheduleRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSchedule(strings.NewReader("[")); err == nil {
+		t.Error("malformed schedule accepted")
+	}
+}
+
+func TestEncodeInstanceRejectsBroken(t *testing.T) {
+	g, err := topology.Line(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := core.NewInstance(g, 1)
+	inst.Want[1].Add(0) // wanted but held by nobody
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, inst); err == nil {
+		t.Error("inconsistent instance encoded")
+	}
+}

@@ -1,0 +1,43 @@
+package underlay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ocd/internal/topology"
+)
+
+// RandomNetwork builds a transit-stub physical topology of roughly physN
+// vertices, selects numHosts random overlay participants, and wires each
+// host to meshDegree random peers (a typical random overlay mesh over a
+// real network).
+func RandomNetwork(physN, numHosts, meshDegree int, caps topology.CapRange, seed int64) (*Network, error) {
+	if numHosts < 2 {
+		return nil, fmt.Errorf("underlay: need at least 2 hosts, got %d", numHosts)
+	}
+	phys, err := topology.TransitStubN(physN, caps, seed)
+	if err != nil {
+		return nil, err
+	}
+	if numHosts > phys.N() {
+		return nil, fmt.Errorf("underlay: %d hosts exceed %d physical vertices", numHosts, phys.N())
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	perm := rng.Perm(phys.N())
+	hosts := append([]int(nil), perm[:numHosts]...)
+
+	// Ring for connectivity plus random chords for the mesh.
+	var edges [][2]int
+	for i := 0; i < numHosts; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % numHosts})
+	}
+	for i := 0; i < numHosts; i++ {
+		for d := 0; d < meshDegree; d++ {
+			j := rng.Intn(numHosts)
+			if j != i {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return Build(phys, hosts, edges)
+}

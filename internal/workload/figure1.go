@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"ocd/internal/core"
+	"ocd/internal/graph"
+)
+
+// Figure1 reconstructs the paper's Figure 1: a graph in which minimizing
+// time and minimizing bandwidth are at odds. The figure's exact graph is
+// not specified in the text, so we use a 7-vertex gadget engineered to
+// reproduce the stated optima exactly:
+//
+//   - the minimum-time schedule takes 2 timesteps and uses 6 moves,
+//   - the minimum-bandwidth schedule uses 4 moves but takes 3 timesteps.
+//
+// One token starts at s (vertex 0) and is wanted by w, y, x, z. The cheap
+// distribution is the relay chain s→w→y→{x,z} (4 moves, but x and z sit at
+// depth 3). Finishing in 2 steps forces the two helper vertices a and b
+// (which want nothing) to carry copies: s→{w,a,b} then {w→y, a→x, b→z},
+// 6 moves. y's only in-arc is from w, so y can never supply x or z before
+// step 3, making the helpers unavoidable at τ = 2.
+func Figure1() *core.Instance {
+	const (
+		s = iota
+		w
+		y
+		x
+		z
+		a
+		b
+		numVertices
+	)
+	g := graph.New(numVertices)
+	for _, arc := range [][2]int{
+		{s, w}, {w, y}, {y, x}, {y, z}, // the bandwidth-optimal relay tree
+		{s, a}, {a, x}, // fast helper path to x
+		{s, b}, {b, z}, // fast helper path to z
+	} {
+		// Unit capacities; the tension comes from path depth, not width.
+		if err := g.AddArc(arc[0], arc[1], 1); err != nil {
+			panic("workload: figure1 gadget construction: " + err.Error())
+		}
+	}
+	inst := core.NewInstance(g, 1)
+	inst.Have[s].Add(0)
+	for _, v := range []int{w, y, x, z} {
+		inst.Want[v].Add(0)
+	}
+	return inst
+}

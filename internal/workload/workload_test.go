@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/exact"
+	"ocd/internal/topology"
+)
+
+func TestSingleFile(t *testing.T) {
+	g, err := topology.Ring(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := SingleFile(g, 7)
+	if err := inst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Have[0].Count() != 7 {
+		t.Error("source does not hold the full file")
+	}
+	for v := 1; v < 5; v++ {
+		if inst.Want[v].Count() != 7 {
+			t.Errorf("vertex %d wants %d tokens", v, inst.Want[v].Count())
+		}
+	}
+	if inst.Want[0].Count() != 0 {
+		t.Error("source wants its own file")
+	}
+}
+
+func TestReceiverDensityExtremes(t *testing.T) {
+	g, err := topology.Ring(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ReceiverDensity(g, 5, 1.0, 3)
+	receivers := 0
+	for v := 1; v < 20; v++ {
+		if full.Want[v].Count() > 0 {
+			receivers++
+		}
+	}
+	if receivers != 19 {
+		t.Errorf("threshold 1.0: %d receivers, want 19", receivers)
+	}
+	// Threshold 0 still guarantees at least one receiver.
+	sparse := ReceiverDensity(g, 5, 0.0, 3)
+	receivers = 0
+	for v := 1; v < 20; v++ {
+		if sparse.Want[v].Count() > 0 {
+			receivers++
+		}
+	}
+	if receivers != 1 {
+		t.Errorf("threshold 0: %d receivers, want exactly 1", receivers)
+	}
+}
+
+func TestReceiverDensityDeterministic(t *testing.T) {
+	g, err := topology.Ring(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ReceiverDensity(g, 5, 0.5, 9)
+	b := ReceiverDensity(g, 5, 0.5, 9)
+	for v := 0; v < 20; v++ {
+		if !a.Want[v].Equal(b.Want[v]) {
+			t.Fatalf("vertex %d wants differ across identical seeds", v)
+		}
+	}
+}
+
+func TestMultiFilePartition(t *testing.T) {
+	g, err := topology.Ring(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := MultiFile(g, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 receivers in 4 groups of 2; each wants a distinct 2-token file.
+	seen := make(map[int]int) // token → wanting receivers
+	for v := 1; v < 9; v++ {
+		if got := inst.Want[v].Count(); got != 2 {
+			t.Errorf("vertex %d wants %d tokens, want 2", v, got)
+		}
+		inst.Want[v].ForEach(func(tok int) bool {
+			seen[tok]++
+			return true
+		})
+	}
+	for tok := 0; tok < 8; tok++ {
+		if seen[tok] != 2 {
+			t.Errorf("token %d wanted by %d receivers, want 2", tok, seen[tok])
+		}
+	}
+}
+
+func TestMultiFileErrors(t *testing.T) {
+	g, err := topology.Ring(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MultiFile(g, 8, 3); err == nil {
+		t.Error("non-dividing file count accepted")
+	}
+	if _, err := MultiFile(g, 8, 8); err == nil {
+		t.Error("more files than receivers accepted")
+	}
+	if _, err := MultiFile(g, 8, 0); err == nil {
+		t.Error("zero files accepted")
+	}
+}
+
+func TestMultiSenderSourcesDoNotWant(t *testing.T) {
+	g, err := topology.Ring(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := MultiSender(g, 8, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Every file's holder must not want that file.
+	for v := 0; v < 9; v++ {
+		if inst.Have[v].Intersects(inst.Want[v]) {
+			t.Errorf("vertex %d both has and wants tokens %v ∩ %v",
+				v, inst.Have[v], inst.Want[v])
+		}
+	}
+	// All 8 tokens are held somewhere.
+	total := 0
+	for v := 0; v < 9; v++ {
+		total += inst.Have[v].Count()
+	}
+	if total != 8 {
+		t.Errorf("held tokens = %d, want 8", total)
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	g, err := topology.Line(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := PointToPoint(g, 3, 0, 3)
+	if inst.Have[0].Count() != 3 || inst.Want[3].Count() != 3 {
+		t.Error("point-to-point layout wrong")
+	}
+}
+
+func TestFigure1CertifiedOptima(t *testing.T) {
+	inst := Figure1()
+	if err := inst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	fast, err := exact.SolveFOCD(inst, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Makespan() != 2 {
+		t.Errorf("min time = %d steps, want 2", fast.Makespan())
+	}
+	fastCheapest, err := exact.SolveEOCD(inst, 2, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastCheapest.Moves() != 6 {
+		t.Errorf("min bandwidth at tau=2 is %d, want 6", fastCheapest.Moves())
+	}
+	cheap, err := exact.SolveEOCD(inst, 0, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Moves() != 4 || cheap.Makespan() != 3 {
+		t.Errorf("min bandwidth = %d moves / %d steps, want 4/3",
+			cheap.Moves(), cheap.Makespan())
+	}
+	if err := core.Validate(inst, cheap); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,424 @@
+// Package ocd is the public API of this reproduction of "The Overlay
+// Network Content Distribution Problem" (Killian, Vrable, Snoeren, Vahdat,
+// Pasquale; UCSD 2005 / PODC 2005 brief announcement).
+//
+// The package re-exports the problem model (instances, schedules,
+// validation, pruning, lower bounds), the topology generators, the paper's
+// five distribution heuristics, the exact solvers (schedule branch-and-
+// bound and the §3.4 time-indexed integer program), and the experiment
+// harness that regenerates every figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	g, _ := ocd.RandomTopology(100, ocd.DefaultCaps, 42)
+//	inst := ocd.SingleFile(g, 200)
+//	res, _ := ocd.RunHeuristic(inst, "local", ocd.RunOptions{Seed: 1, Prune: true})
+//	fmt.Println(res.Steps, res.Moves, res.PrunedMoves)
+package ocd
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ocd/internal/baselines"
+	"ocd/internal/competitive"
+	"ocd/internal/core"
+	"ocd/internal/exact"
+	"ocd/internal/experiments"
+	"ocd/internal/flow"
+	"ocd/internal/graph"
+	"ocd/internal/heuristics"
+	"ocd/internal/ilp"
+	"ocd/internal/protocol"
+	"ocd/internal/sim"
+	"ocd/internal/steiner"
+	"ocd/internal/tokenset"
+	"ocd/internal/topology"
+	"ocd/internal/trace"
+	"ocd/internal/workload"
+)
+
+// NewTokenSet returns an empty token set over [0, universe).
+func NewTokenSet(universe int) TokenSet { return tokenset.New(universe) }
+
+// Core model types (§3.1).
+type (
+	// Instance is an OCD problem instance (G, T, h, w).
+	Instance = core.Instance
+	// Move assigns one token to one arc for one timestep.
+	Move = core.Move
+	// Step is the simultaneous move set of one timestep.
+	Step = core.Step
+	// Schedule is a sequence of timesteps.
+	Schedule = core.Schedule
+	// Graph is a simple weighted directed graph with capacities.
+	Graph = graph.Graph
+	// Arc is a directed capacitated edge.
+	Arc = graph.Arc
+	// CapRange is the inclusive capacity range for generated topologies.
+	CapRange = topology.CapRange
+	// TokenSet is a bitset over token IDs; Instance.Have and Instance.Want
+	// are slices of TokenSet indexed by vertex.
+	TokenSet = tokenset.Set
+	// RunOptions configures a heuristic run.
+	RunOptions = sim.Options
+	// RunResult summarizes a heuristic run.
+	RunResult = sim.Result
+	// Strategy plans the moves of one timestep.
+	Strategy = sim.Strategy
+	// PlanState is the read-only view a Strategy receives each timestep.
+	PlanState = sim.State
+	// StrategyFactory creates a fresh Strategy per run.
+	StrategyFactory = sim.Factory
+	// Table is a rendered experiment result.
+	Table = experiments.Table
+	// ExactOptions bounds the exact solvers.
+	ExactOptions = exact.Options
+)
+
+// DefaultCaps is the paper's capacity range: 3..15 tokens per timestep.
+var DefaultCaps = topology.DefaultCaps
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewInstance returns an instance over g with m tokens and empty have/want
+// sets; populate via inst.Have[v].Add(t) and inst.Want[v].Add(t).
+func NewInstance(g *Graph, m int) *Instance { return core.NewInstance(g, m) }
+
+// Topology generators (§5.2).
+
+// RandomTopology generates the paper's Erdős–Rényi G(n, 2·ln n/n) graph.
+func RandomTopology(n int, caps CapRange, seed int64) (*Graph, error) {
+	return topology.Random(n, caps, seed)
+}
+
+// TransitStubTopology generates a GT-ITM-style transit-stub graph with
+// approximately n vertices.
+func TransitStubTopology(n int, caps CapRange, seed int64) (*Graph, error) {
+	return topology.TransitStubN(n, caps, seed)
+}
+
+// Workloads (§5.2–5.3).
+
+// SingleFile places one m-token file at vertex 0, wanted by every other
+// vertex.
+func SingleFile(g *Graph, m int) *Instance { return workload.SingleFile(g, m) }
+
+// ReceiverDensity places one m-token file at vertex 0; each other vertex
+// wants it with the given probability threshold.
+func ReceiverDensity(g *Graph, m int, threshold float64, seed int64) *Instance {
+	return workload.ReceiverDensity(g, m, threshold, seed)
+}
+
+// MultiFile splits m tokens at vertex 0 into `files` files wanted by
+// disjoint receiver groups.
+func MultiFile(g *Graph, m, files int) (*Instance, error) {
+	return workload.MultiFile(g, m, files)
+}
+
+// MultiSender is MultiFile with each file sourced at a random non-wanting
+// vertex.
+func MultiSender(g *Graph, m, files int, seed int64) (*Instance, error) {
+	return workload.MultiSender(g, m, files, seed)
+}
+
+// Figure1Instance returns the reconstructed Figure 1 gadget where time and
+// bandwidth optima conflict.
+func Figure1Instance() *Instance { return workload.Figure1() }
+
+// Heuristics (§5.1).
+
+// Heuristics lists the five heuristic names in paper order.
+func Heuristics() []string { return heuristics.Names() }
+
+// HeuristicFactory returns the factory for a named strategy: the paper's
+// five heuristics plus the extensions — "tree" and "forest-K" (§2
+// architectures), "protocol-local" (§4.1 message passing), and
+// "local-delayed-K" (§5.1 stale knowledge).
+func HeuristicFactory(name string) (StrategyFactory, error) {
+	if f, ok := heuristics.Named(name); ok {
+		return f, nil
+	}
+	switch {
+	case name == "tree":
+		return baselines.Tree, nil
+	case name == "protocol-local":
+		return protocol.Local, nil
+	case strings.HasPrefix(name, "forest-"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "forest-"))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("ocd: bad forest stripe count in %q", name)
+		}
+		return baselines.Forest(k), nil
+	case strings.HasPrefix(name, "local-delayed-"):
+		d, err := strconv.Atoi(strings.TrimPrefix(name, "local-delayed-"))
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("ocd: bad delay in %q", name)
+		}
+		return heuristics.LocalDelayed(d), nil
+	}
+	return nil, fmt.Errorf("ocd: unknown heuristic %q (have %v plus tree, forest-K, protocol-local, local-delayed-K)",
+		name, heuristics.Names())
+}
+
+// RunHeuristic runs the named heuristic on the instance.
+func RunHeuristic(inst *Instance, name string, opts RunOptions) (*RunResult, error) {
+	f, err := HeuristicFactory(name)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(inst, f, opts)
+}
+
+// RunStrategy runs a custom strategy factory on the instance — the
+// extension point for user-defined heuristics.
+func RunStrategy(inst *Instance, factory StrategyFactory, opts RunOptions) (*RunResult, error) {
+	return sim.Run(inst, factory, opts)
+}
+
+// RunOracle runs the §4.2 propagate-then-plan online algorithm wrapped
+// around the named heuristic; its makespan is within an additive graph
+// diameter of the inner plan.
+func RunOracle(inst *Instance, name string, seed int64) (*RunResult, error) {
+	f, err := HeuristicFactory(name)
+	if err != nil {
+		return nil, err
+	}
+	return competitive.RunOracle(inst, f, seed)
+}
+
+// Schedule analysis (§3.1, §5.1).
+
+// Validate checks a schedule against the capacity/possession constraints
+// and that it satisfies every want set.
+func Validate(inst *Instance, sched *Schedule) error { return core.Validate(inst, sched) }
+
+// Prune applies the §5.1 pruning post-pass (duplicate and never-used
+// deliveries are removed).
+func Prune(inst *Instance, sched *Schedule) *Schedule { return core.Prune(inst, sched) }
+
+// RenderTimeline formats a schedule as a per-timestep text timeline with a
+// running completion percentage. maxMovesPerLine truncates wide steps
+// (0 = no truncation).
+func RenderTimeline(inst *Instance, sched *Schedule, maxMovesPerLine int) string {
+	return core.RenderTimeline(inst, sched, maxMovesPerLine)
+}
+
+// MakespanLowerBound returns the §5.1 radius-closure bound on remaining
+// timesteps from the initial possession.
+func MakespanLowerBound(inst *Instance) int { return core.MakespanLowerBound(inst, nil) }
+
+// FlowMakespanLowerBound returns the min-cut bound on remaining timesteps
+// (the §2 network-flow relaxation): all missing tokens must cross the
+// minimum cut from their holders. Incomparable with the radius bound.
+func FlowMakespanLowerBound(inst *Instance) (int, error) {
+	return flow.FlowMakespanLowerBound(inst)
+}
+
+// CombinedMakespanLowerBound is the max of the radius and flow bounds.
+func CombinedMakespanLowerBound(inst *Instance) (int, error) {
+	return flow.CombinedMakespanLowerBound(inst)
+}
+
+// MaxFlow computes the Edmonds–Karp maximum flow between two vertices of a
+// graph, returning the value and the source side of a minimum cut.
+func MaxFlow(g *Graph, s, t int) (int, []int, error) { return flow.MaxFlow(g, s, t) }
+
+// BandwidthLowerBound returns the §5.1 remaining-bandwidth bound from the
+// initial possession.
+func BandwidthLowerBound(inst *Instance) int { return core.BandwidthLowerBound(inst, nil) }
+
+// Exact solvers (§3).
+
+// SolveFOCD returns a minimum-makespan schedule (Fast OCD) by
+// branch-and-bound; exponential, intended for small instances.
+func SolveFOCD(inst *Instance, opts ExactOptions) (*Schedule, error) {
+	return exact.SolveFOCD(inst, opts)
+}
+
+// SolveEOCD returns a minimum-bandwidth schedule (Efficient OCD) within
+// the given timestep horizon (0 = the Theorem 1 horizon m·(n−1)).
+func SolveEOCD(inst *Instance, horizon int, opts ExactOptions) (*Schedule, error) {
+	return exact.SolveEOCD(inst, horizon, opts)
+}
+
+// SolveILP builds the §3.4 time-indexed integer program for horizon tau
+// and solves it by branch-and-bound on an LP relaxation, returning the
+// schedule and its optimal move count.
+func SolveILP(inst *Instance, tau int) (*Schedule, int, error) {
+	prog, err := ilp.Build(inst, tau)
+	if err != nil {
+		return nil, 0, err
+	}
+	return prog.Solve(ilp.Options{})
+}
+
+// SteinerSchedule realizes §3.3: distribute each token serially over an
+// approximate Steiner tree — near-optimal bandwidth, long makespan.
+func SteinerSchedule(inst *Instance) (*Schedule, error) {
+	return steiner.SerialSchedule(inst)
+}
+
+// Experiments — each regenerates one paper figure; see internal/experiments
+// for the configuration structs.
+
+// ExperimentGraphSize reproduces Figure 2 (random) or Figure 3
+// (transit-stub) at the given sizes.
+func ExperimentGraphSize(transitStub bool, sizes []int, tokens, seeds, repeats int, baseSeed int64) (*Table, error) {
+	cfg := sweepConfig(transitStub, tokens, seeds, repeats, baseSeed)
+	return experiments.GraphSize(cfg, sizes)
+}
+
+// ExperimentReceiverDensity reproduces Figure 4.
+func ExperimentReceiverDensity(n int, thresholds []float64, tokens, seeds, repeats int, baseSeed int64) (*Table, error) {
+	cfg := sweepConfig(false, tokens, seeds, repeats, baseSeed)
+	return experiments.ReceiverDensity(cfg, n, thresholds)
+}
+
+// ExperimentNumFiles reproduces Figure 5 (multiSender=false) or Figure 6
+// (multiSender=true).
+func ExperimentNumFiles(n int, fileCounts []int, tokens, seeds, repeats int, multiSender bool, baseSeed int64) (*Table, error) {
+	cfg := sweepConfig(false, tokens, seeds, repeats, baseSeed)
+	return experiments.NumFiles(cfg, n, fileCounts, multiSender)
+}
+
+// ExperimentFigure1 certifies the Figure 1 tradeoff with both exact
+// solvers.
+func ExperimentFigure1() (*Table, error) { return experiments.Figure1() }
+
+// ExperimentFigure7 validates the Theorem 5 reduction on random graphs.
+func ExperimentFigure7(graphs, n int, edgeP float64, seed int64) (*Table, error) {
+	return experiments.Figure7(graphs, n, edgeP, seed)
+}
+
+// ExperimentTheorem4 measures the unbounded competitive ratio family.
+func ExperimentTheorem4(pathLen int, decoySweep []int, capacity int) (*Table, error) {
+	return experiments.Theorem4(pathLen, decoySweep, capacity)
+}
+
+// ExperimentOracleAdditive measures the §4.2 additive-diameter oracle.
+func ExperimentOracleAdditive(sizes []int, tokens int, seed int64) (*Table, error) {
+	return experiments.OracleAdditive(sizes, tokens, seed)
+}
+
+// ExperimentILPvsBnB cross-checks the two exact solvers on random tiny
+// instances.
+func ExperimentILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
+	return experiments.ILPvsBnB(instances, n, m, seed)
+}
+
+// Extensions — the paper's §6 open problems, implemented as experiments.
+
+// ExperimentDynamicConditions runs every heuristic under time-varying
+// capacity models (§6 "Changing network conditions" and "Arrivals and
+// departures").
+func ExperimentDynamicConditions(n, tokens int, seed int64) (*Table, error) {
+	return experiments.DynamicConditions(n, tokens, seed)
+}
+
+// ExperimentLossCoding compares uncoded vs (k,n)-coded distribution under
+// per-move loss (§6 "Encoding").
+func ExperimentLossCoding(n, tokens int, lossRate float64, redundancies []float64, seed int64) (*Table, error) {
+	return experiments.LossCoding(n, tokens, lossRate, redundancies, seed)
+}
+
+// ExperimentUnderlay compares overlay-only capacities against shared
+// physical links (§6 "Realistic topologies").
+func ExperimentUnderlay(physN, hosts, tokens int, seed int64) (*Table, error) {
+	return experiments.UnderlayComparison(physN, hosts, tokens, seed)
+}
+
+// ExperimentKnowledgeDelay ablates the Local heuristic's knowledge
+// freshness (§5.1's "state k turns ago" relaxation).
+func ExperimentKnowledgeDelay(n, tokens, maxDelay int, seed int64) (*Table, error) {
+	return experiments.KnowledgeDelay(n, tokens, maxDelay, seed)
+}
+
+// ExperimentTradeoffCurve certifies the §3.4 hybrid objective on an
+// instance: minimum bandwidth at every makespan bound.
+func ExperimentTradeoffCurve(inst *Instance) (*Table, error) {
+	return experiments.TradeoffCurve(inst, exact.Options{})
+}
+
+// LocalDelayedFactory returns the Local heuristic planning from peer
+// views that are `delay` turns stale. Run it with IdlePatience ≥ delay.
+func LocalDelayedFactory(delay int) StrategyFactory {
+	return heuristics.LocalDelayed(delay)
+}
+
+// SolveFOCDILP finds the minimum makespan by binary search on the §3.4
+// program's feasibility (the Decisional FOCD problem), returning the
+// schedule and the optimal τ.
+func SolveFOCDILP(inst *Instance) (*Schedule, int, error) {
+	return ilp.SolveFOCD(inst, ilp.Options{})
+}
+
+// ExperimentBoundsQuality reports heuristic makespan/bandwidth as ratios
+// to certified optima on random small instances (the paper's §1 bound-
+// quality promise).
+func ExperimentBoundsQuality(instances, n, m int, seed int64) (*Table, error) {
+	return experiments.BoundsQuality(instances, n, m, seed)
+}
+
+// ProtocolLocalFactory returns the message-passing realization of the
+// Local heuristic: knowledge spreads only via per-turn neighbor gossip
+// (§4.1). Run with IdlePatience of at least the graph diameter.
+func ProtocolLocalFactory() StrategyFactory { return protocol.Local }
+
+// ExperimentProtocolComparison measures the turn cost of honest
+// message-passing knowledge versus the §5.1 idealized instant aggregates.
+func ExperimentProtocolComparison(sizes []int, tokens int, seed int64) (*Table, error) {
+	return experiments.ProtocolComparison(sizes, tokens, seed)
+}
+
+// TreeFactory returns the §2 single-tree (Overcast-style) architecture as
+// a strategy: bandwidth-optimal on all-want workloads, pipeline-bound on
+// speed.
+func TreeFactory() StrategyFactory { return baselines.Tree }
+
+// ForestFactory returns the §2 striped-forest (SplitStream-style)
+// architecture with k stripes.
+func ForestFactory(k int) StrategyFactory { return baselines.Forest(k) }
+
+// ExperimentArchitectures compares the §2 tree/forest architectures with
+// the paper's mesh heuristics.
+func ExperimentArchitectures(n, tokens int, seed int64) (*Table, error) {
+	return experiments.ArchitectureComparison(n, tokens, seed)
+}
+
+// EncodeInstanceJSON / DecodeInstanceJSON and the schedule counterparts
+// serialize workloads for archival and replay.
+
+// EncodeInstanceJSON writes the instance as JSON.
+func EncodeInstanceJSON(w io.Writer, inst *Instance) error { return trace.EncodeInstance(w, inst) }
+
+// DecodeInstanceJSON reads and validates an instance from JSON.
+func DecodeInstanceJSON(r io.Reader) (*Instance, error) { return trace.DecodeInstance(r) }
+
+// EncodeScheduleJSON writes the schedule as JSON.
+func EncodeScheduleJSON(w io.Writer, sched *Schedule) error { return trace.EncodeSchedule(w, sched) }
+
+// DecodeScheduleJSON reads a schedule from JSON.
+func DecodeScheduleJSON(r io.Reader) (*Schedule, error) { return trace.DecodeSchedule(r) }
+
+func sweepConfig(transitStub bool, tokens, seeds, repeats int, baseSeed int64) experiments.SweepConfig {
+	kind := experiments.RandomGraph
+	if transitStub {
+		kind = experiments.TransitStubGraph
+	}
+	cfg := experiments.DefaultSweep(kind)
+	if tokens > 0 {
+		cfg.Tokens = tokens
+	}
+	if seeds > 0 {
+		cfg.GraphSeeds = seeds
+	}
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	cfg.BaseSeed = baseSeed
+	return cfg
+}
