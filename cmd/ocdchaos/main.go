@@ -1,0 +1,127 @@
+// Command ocdchaos is the fault-injection harness: it sweeps fault
+// intensity × heuristic under the canonical chaos plan (bursty
+// Gilbert–Elliott loss, crash/recovery churn with download loss, gossip
+// loss) and reports degradation metrics — outcome, delivered fraction,
+// lost/retransmitted/wasted moves, and makespan inflation over a
+// fault-free baseline. The crash-source scenario crash-stops the sole
+// holder mid-distribution to demonstrate graceful termination with an
+// explicit unsatisfiable-receiver report.
+//
+// Examples:
+//
+//	ocdchaos -n 30 -tokens 24 -intensities 0,0.25,0.5,1 -heuristics local,retry-local
+//	ocdchaos -scenario crash-source -n 30 -tokens 60 -crash-at 2
+//	ocdchaos -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ocd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ocdchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ocdchaos", flag.ContinueOnError)
+	var (
+		scenario    = fs.String("scenario", "sweep", "scenario: sweep | crash-source")
+		n           = fs.Int("n", 30, "number of vertices")
+		tokens      = fs.Int("tokens", 24, "number of tokens in the file")
+		seed        = fs.Int64("seed", 1, "random seed (topology, fault plan, and strategies)")
+		intensities = fs.String("intensities", "0,0.25,0.5,0.75,1", "comma-separated fault intensities in [0,1] (sweep)")
+		heuristics  = fs.String("heuristics", "local,bandwidth,retry-local", "comma-separated heuristic names; retry-<name> wraps in the backoff sender (sweep)")
+		crashAt     = fs.Int("crash-at", 2, "step at which the sole source crash-stops (crash-source)")
+		csv         = fs.Bool("csv", false, "emit CSV instead of the ASCII table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	xs, err := parseIntensities(*intensities)
+	if err != nil {
+		return err
+	}
+	names := splitNames(*heuristics)
+	if err := validateFlags(*n, *tokens, *crashAt, xs, names); err != nil {
+		return err
+	}
+
+	var tab *ocd.Table
+	switch *scenario {
+	case "sweep":
+		tab, err = ocd.ExperimentChaos(*n, *tokens, xs, names, *seed)
+	case "crash-source":
+		tab, err = ocd.ExperimentCrashedSource(*n, *tokens, *crashAt, *seed)
+	default:
+		return fmt.Errorf("unknown scenario %q (have sweep, crash-source)", *scenario)
+	}
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Fprint(stdout, tab.CSV())
+	} else {
+		fmt.Fprint(stdout, tab.ASCII())
+	}
+	return nil
+}
+
+func parseIntensities(s string) ([]float64, error) {
+	var xs []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		x, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad intensity %q: %w", part, err)
+		}
+		xs = append(xs, x)
+	}
+	return xs, nil
+}
+
+func splitNames(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// validateFlags rejects out-of-range parameters up front with a clear
+// message, mirroring cmd/ocdsim.
+func validateFlags(n, tokens, crashAt int, xs []float64, names []string) error {
+	switch {
+	case n <= 0:
+		return fmt.Errorf("-n must be positive, got %d", n)
+	case tokens <= 0:
+		return fmt.Errorf("-tokens must be positive, got %d", tokens)
+	case crashAt < 0:
+		return fmt.Errorf("-crash-at must be non-negative, got %d", crashAt)
+	case len(xs) == 0:
+		return fmt.Errorf("-intensities is empty")
+	case len(names) == 0:
+		return fmt.Errorf("-heuristics is empty")
+	}
+	for _, x := range xs {
+		if x < 0 || x > 1 {
+			return fmt.Errorf("-intensities entries must be in [0,1], got %v", x)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestSweepScenario(t *testing.T) {
+	out := runOK(t, "-n", "12", "-tokens", "6",
+		"-intensities", "0,0.5", "-heuristics", "local,retry-local")
+	for _, want := range []string{"intensity", "retry-local", "completed", "inflation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrashSourceScenario(t *testing.T) {
+	out := runOK(t, "-scenario", "crash-source", "-n", "12", "-tokens", "36", "-crash-at", "1")
+	if !strings.Contains(out, "graceful") {
+		t.Errorf("no graceful termination in output:\n%s", out)
+	}
+	if !strings.Contains(out, "unsatisfiable") {
+		t.Errorf("no unsatisfiable-receiver column in output:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out := runOK(t, "-n", "12", "-tokens", "6", "-intensities", "0",
+		"-heuristics", "local", "-csv")
+	if !strings.HasPrefix(out, "intensity,heuristic,") {
+		t.Errorf("not CSV:\n%s", out)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-n", "0"},
+		{"-tokens", "-3"},
+		{"-crash-at", "-1", "-scenario", "crash-source"},
+		{"-intensities", "1.5"},
+		{"-intensities", "abc"},
+		{"-intensities", ""},
+		{"-heuristics", ""},
+		{"-heuristics", "nope"},
+		{"-scenario", "nope"},
+	}
+	for _, args := range bad {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	args := []string{"-n", "12", "-tokens", "8", "-intensities", "0.6",
+		"-heuristics", "local,random", "-seed", "9"}
+	if runOK(t, args...) != runOK(t, args...) {
+		t.Error("identical seeds produced different sweeps")
+	}
+}

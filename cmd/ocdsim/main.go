@@ -48,6 +48,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validateFlags(*n, *tokens, *loss, *density, *patience, *maxSteps, *files); err != nil {
+		return err
+	}
 
 	inst, err := buildInstance(*instPath, *topo, *work, *n, *tokens, *density, *files, *seed)
 	if err != nil {
@@ -103,6 +106,30 @@ func run(args []string, stdout io.Writer) error {
 		}); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validateFlags rejects out-of-range parameters up front with a clear
+// message instead of letting them wander into generators and the engine as
+// undefined behavior (a negative patience, for example, would make every
+// idle step a stall).
+func validateFlags(n, tokens int, loss, density float64, patience, maxSteps, files int) error {
+	switch {
+	case n <= 0:
+		return fmt.Errorf("-n must be positive, got %d", n)
+	case tokens <= 0:
+		return fmt.Errorf("-tokens must be positive, got %d", tokens)
+	case loss < 0 || loss > 1:
+		return fmt.Errorf("-loss must be in [0,1], got %v", loss)
+	case density < 0 || density > 1:
+		return fmt.Errorf("-density must be in [0,1], got %v", density)
+	case patience < 0:
+		return fmt.Errorf("-patience must be non-negative, got %d", patience)
+	case maxSteps < 0:
+		return fmt.Errorf("-max-steps must be non-negative, got %d", maxSteps)
+	case files <= 0:
+		return fmt.Errorf("-files must be positive, got %d", files)
 	}
 	return nil
 }

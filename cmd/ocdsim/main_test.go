@@ -90,3 +90,31 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-n", "0"},
+		{"-n", "-5"},
+		{"-tokens", "0"},
+		{"-loss", "-0.1"},
+		{"-loss", "1.5"},
+		{"-density", "2"},
+		{"-patience", "-1"},
+		{"-max-steps", "-1"},
+		{"-files", "0"},
+	}
+	for _, args := range bad {
+		var out bytes.Buffer
+		err := run(args, &out)
+		if err == nil {
+			t.Errorf("run(%v) accepted out-of-range flags", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must be") {
+			t.Errorf("run(%v): unclear error %q", args, err)
+		}
+	}
+	// The validated boundary values stay accepted.
+	runOK(t, "-n", "10", "-tokens", "4", "-loss", "0", "-patience", "0")
+	runOK(t, "-n", "10", "-tokens", "4", "-loss", "1", "-patience", "5", "-max-steps", "30")
+}

@@ -1,0 +1,83 @@
+package ocd_test
+
+import (
+	"testing"
+
+	"ocd"
+)
+
+func TestPublicAPIFaultedRun(t *testing.T) {
+	g, err := ocd.RandomTopology(16, ocd.DefaultCaps, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := ocd.SingleFile(g, 48)
+	plan := ocd.FaultPlan{
+		Crashes: ocd.CrashSchedule{Events: []ocd.CrashEvent{
+			{V: 0, At: 1, RecoverAt: -1}, // the sole source crash-stops
+		}},
+		StateLoss: ocd.KeepState,
+	}
+	res, err := ocd.RunFaulted(inst, "local", plan, ocd.RunOptions{Seed: 4, IdlePatience: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || !res.Graceful {
+		t.Fatalf("want graceful termination, got completed=%v graceful=%v", res.Completed, res.Graceful)
+	}
+	if res.Steps >= inst.TheoremOneHorizon() {
+		t.Errorf("graceful stop at step %d did not beat the horizon %d", res.Steps, inst.TheoremOneHorizon())
+	}
+	if len(res.Unsatisfiable) == 0 || res.DeliveredFraction >= 1 {
+		t.Errorf("degradation report empty: unsat=%d delivered=%v",
+			len(res.Unsatisfiable), res.DeliveredFraction)
+	}
+	if err := ocd.ValidateFaulted(inst, res.Schedule, plan); err != nil {
+		t.Errorf("plan replay validation: %v", err)
+	}
+	if err := ocd.ValidateConstraints(inst, res.Schedule); err != nil {
+		t.Errorf("constraint validation: %v", err)
+	}
+}
+
+func TestPublicAPIRetryHeuristicName(t *testing.T) {
+	g, err := ocd.RandomTopology(14, ocd.DefaultCaps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := ocd.SingleFile(g, 12)
+	plan := ocd.FaultPlan{Loss: ocd.BernoulliLoss(0.3, 7)}
+	res, err := ocd.RunFaulted(inst, "retry-local", plan, ocd.RunOptions{Seed: 4, IdlePatience: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("retry-local did not complete under 30% loss")
+	}
+	if res.Lost == 0 {
+		t.Error("no losses recorded under 30% loss")
+	}
+	if _, err := ocd.HeuristicFactory("retry-nope"); err == nil {
+		t.Error("retry- wrapper around unknown heuristic accepted")
+	}
+}
+
+func TestPublicAPIChaosExperiments(t *testing.T) {
+	tab, err := ocd.ExperimentChaos(12, 6, []float64{0, 0.5}, []string{"local", "retry-local"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("chaos rows = %d, want 4", len(tab.Rows))
+	}
+	if tab.ASCII() == "" || tab.CSV() == "" {
+		t.Error("empty rendering")
+	}
+	crash, err := ocd.ExperimentCrashedSource(12, 36, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crash.Rows) != 5 {
+		t.Fatalf("crashed-source rows = %d, want 5", len(crash.Rows))
+	}
+}

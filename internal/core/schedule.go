@@ -101,8 +101,31 @@ func clonePossession(p []tokenset.Set) []tokenset.Set {
 // and finally that the schedule is successful (w(v) ⊆ p_t(v) for all v).
 // The first violated constraint is reported.
 func Validate(inst *Instance, sched *Schedule) error {
-	if err := inst.Check(); err != nil {
+	cur, err := replayConstraints(inst, sched)
+	if err != nil {
 		return err
+	}
+	if !Done(inst, cur) {
+		return ErrUnsuccessful
+	}
+	return nil
+}
+
+// ValidateConstraints checks the same move-level constraints as Validate
+// but does not require the schedule to satisfy every want. Partial
+// schedules — a faulted run that terminated gracefully with unsatisfiable
+// receivers, or a run cut off at a step limit — must still be legal move
+// sequences under the static model; this is the check they pass.
+func ValidateConstraints(inst *Instance, sched *Schedule) error {
+	_, err := replayConstraints(inst, sched)
+	return err
+}
+
+// replayConstraints replays the schedule checking arc existence, capacity,
+// and possession, returning the final possession.
+func replayConstraints(inst *Instance, sched *Schedule) ([]tokenset.Set, error) {
+	if err := inst.Check(); err != nil {
+		return nil, err
 	}
 	cur := inst.InitialPossession()
 	used := make(map[[2]int]int)
@@ -112,22 +135,22 @@ func Validate(inst *Instance, sched *Schedule) error {
 		}
 		for _, mv := range st {
 			if mv.Token < 0 || mv.Token >= inst.NumTokens {
-				return &ValidationError{Step: i, Move: mv, Reason: "token out of range"}
+				return nil, &ValidationError{Step: i, Move: mv, Reason: "token out of range"}
 			}
 			capacity := inst.G.Cap(mv.From, mv.To)
 			if capacity == 0 {
-				return &ValidationError{Step: i, Move: mv, Reason: "arc does not exist"}
+				return nil, &ValidationError{Step: i, Move: mv, Reason: "arc does not exist"}
 			}
 			key := [2]int{mv.From, mv.To}
 			used[key]++
 			if used[key] > capacity {
-				return &ValidationError{
+				return nil, &ValidationError{
 					Step: i, Move: mv,
 					Reason: fmt.Sprintf("capacity %d exceeded", capacity),
 				}
 			}
 			if !cur[mv.From].Has(mv.Token) {
-				return &ValidationError{
+				return nil, &ValidationError{
 					Step: i, Move: mv,
 					Reason: "sender does not possess token at start of timestep",
 				}
@@ -137,10 +160,7 @@ func Validate(inst *Instance, sched *Schedule) error {
 			cur[mv.To].Add(mv.Token)
 		}
 	}
-	if !Done(inst, cur) {
-		return ErrUnsuccessful
-	}
-	return nil
+	return cur, nil
 }
 
 // Successful reports whether playing the schedule satisfies every want set,

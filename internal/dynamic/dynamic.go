@@ -242,6 +242,7 @@ func Run(inst *core.Instance, factory sim.Factory, model Model, opts sim.Options
 		maxSteps = 4*inst.TheoremOneHorizon() + opts.IdlePatience
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	lossRng := sim.LossRand(opts.Seed)
 	strat, err := factory(inst, rng)
 	if err != nil {
 		return nil, fmt.Errorf("dynamic: create strategy: %w", err)
@@ -293,7 +294,7 @@ func Run(inst *core.Instance, factory sim.Factory, model Model, opts sim.Options
 		idle = 0
 		var delivered core.Step
 		for _, mv := range accepted {
-			if opts.LossRate > 0 && rng.Float64() < opts.LossRate {
+			if opts.LossRate > 0 && lossRng.Float64() < opts.LossRate {
 				res.Lost++
 				continue
 			}

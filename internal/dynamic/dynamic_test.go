@@ -1,6 +1,9 @@
 package dynamic
 
 import (
+	"fmt"
+	"reflect"
+	"strings"
 	"testing"
 
 	"ocd/internal/core"
@@ -228,5 +231,90 @@ func TestValidateCatchesViolations(t *testing.T) {
 	}
 	if err := Validate(inst, sched, LinkFailure{P: 1.0, Seed: 1}); err == nil {
 		t.Error("validation accepted moves over failed links")
+	}
+}
+
+// capTrace renders a model's effective capacities over a step window as a
+// string, so replay comparisons are byte-exact.
+func capTrace(m Model, steps int, arcs []graph.Arc) string {
+	var b strings.Builder
+	for step := 0; step < steps; step++ {
+		for _, a := range arcs {
+			fmt.Fprintf(&b, "%d,", m.Cap(step, a))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestModelsReplayByteIdentical is the determinism property every model
+// advertises: two freshly-built models with the same parameters must yield
+// byte-identical capacity traces, or post-hoc Validate replay would lie.
+func TestModelsReplayByteIdentical(t *testing.T) {
+	inst := testInstance(t, 24, 12)
+	arcs := inst.G.Arcs()
+	build := []func() Model{
+		func() Model { return Static{} },
+		func() Model { return CrossTraffic{MaxShare: 0.7, Seed: 5} },
+		func() Model { return LinkFailure{P: 0.3, Seed: 5} },
+		func() Model { return Periodic{Period: 7, Floor: 0.2} },
+		func() Model { return Churn{P: 0.25, Seed: 5, AlwaysUp: []int{0}} },
+	}
+	for _, mk := range build {
+		a, b := mk(), mk()
+		ta, tb := capTrace(a, 40, arcs), capTrace(b, 40, arcs)
+		if ta != tb {
+			t.Errorf("%s: fresh replay diverged", a.Name())
+		}
+		if ta != capTrace(a, 40, arcs) {
+			t.Errorf("%s: second query pass diverged", a.Name())
+		}
+	}
+}
+
+// TestAdversaryReplayByteIdentical covers the possession-aware model: fed
+// the same observation sequence, two adversaries cut the same arcs.
+func TestAdversaryReplayByteIdentical(t *testing.T) {
+	inst := testInstance(t, 16, 8)
+	arcs := inst.G.Arcs()
+	a := NewAdversary(inst, 4)
+	b := NewAdversary(inst, 4)
+	possess := inst.InitialPossession()
+	for step := 0; step < 10; step++ {
+		a.Observe(step, possess)
+		b.Observe(step, possess)
+		for _, arc := range arcs {
+			if a.Cap(step, arc) != b.Cap(step, arc) {
+				t.Fatalf("step %d arc %v: adversary replay diverged", step, arc)
+			}
+		}
+		// Advance possession a little so observations vary across steps.
+		if step < len(possess)-1 {
+			possess[step+1].UnionWith(inst.Have[0])
+		}
+	}
+}
+
+// TestLossStreamDecoupledInDynamicRun mirrors the sim regression: a
+// never-dropping loss rate must not change the dynamic engine's schedule.
+func TestLossStreamDecoupledInDynamicRun(t *testing.T) {
+	inst := testInstance(t, 20, 10)
+	model := CrossTraffic{MaxShare: 0.5, Seed: 3}
+	run := func(loss float64) *Result {
+		res, err := Run(inst, heuristics.Local, model, sim.Options{
+			Seed: 11, LossRate: loss, IdlePatience: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(0)
+	lossy := run(1e-12)
+	if lossy.Lost != 0 {
+		t.Fatalf("wanted a drop-free lossy run, lost %d", lossy.Lost)
+	}
+	if !reflect.DeepEqual(plain.Schedule, lossy.Schedule) {
+		t.Error("enabling LossRate changed the dynamic run's schedule for the same seed")
 	}
 }

@@ -1,0 +1,396 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ocd/internal/core"
+	"ocd/internal/dynamic"
+	"ocd/internal/graph"
+	"ocd/internal/sim"
+	"ocd/internal/tokenset"
+)
+
+// Receiver reports one vertex's outcome under faults.
+type Receiver struct {
+	V int
+	// Wanted is |w(v)|; Got is |w(v) ∩ p(v)| at termination.
+	Wanted, Got int
+	// Undeliverable is the number of missing tokens proven unreachable —
+	// held by no vertex that can still reach v.
+	Undeliverable int
+}
+
+// Result summarizes a faulted run: the base engine metrics plus the
+// degradation report.
+type Result struct {
+	*sim.Result
+	// Plan names the fault plan the run executed under.
+	Plan string
+	// Graceful reports that the run terminated because every remaining
+	// unsatisfied want was proven undeliverable — the principled outcome
+	// the paper's static model has no need for. Completed and Graceful are
+	// mutually exclusive; a run that is neither hit the step limit or the
+	// IdlePatience stall.
+	Graceful bool
+	// Unsatisfiable lists the receivers with undeliverable wants, in
+	// vertex order.
+	Unsatisfiable []Receiver
+	// DeliveredFraction is (Σ_v |w(v) ∩ p(v)|) / (Σ_v |w(v)|) at
+	// termination — 1.0 exactly when Completed.
+	DeliveredFraction float64
+	// Retransmissions counts deliveries of a token to a vertex that had
+	// already received it once (retry traffic and crash re-downloads).
+	Retransmissions int
+	// WastedMoves counts deliveries whose effect was later destroyed by a
+	// crash state wipe.
+	WastedMoves int
+	// Crashes counts up→down transitions; DownSteps the total vertex-down
+	// timesteps.
+	Crashes, DownSteps int
+}
+
+// Run executes the strategy produced by factory on inst under the fault
+// plan. It extends the static engine with crash/recovery semantics, the
+// plan's deterministic loss model, and live-holder reachability detection:
+// instead of stalling until IdlePatience expires, a run whose remaining
+// wants are provably undeliverable (sole holders crashed forever, receivers
+// permanently partitioned) terminates gracefully with the degradation
+// metrics filled in.
+//
+// MaxSteps of 0 defaults to 4× the Theorem 1 horizon plus IdlePatience —
+// faults legitimately slow distribution down.
+func Run(inst *core.Instance, factory sim.Factory, plan Plan, opts sim.Options) (*Result, error) {
+	if err := inst.Check(); err != nil {
+		return nil, err
+	}
+	plan = plan.normalized()
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4*inst.TheoremOneHorizon() + opts.IdlePatience
+		if maxSteps < 1 {
+			maxSteps = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	strat, err := factory(inst, rng)
+	if err != nil {
+		return nil, fmt.Errorf("fault: create strategy: %w", err)
+	}
+	done := opts.Done
+	if done == nil {
+		done = core.Done
+	}
+
+	n := inst.N()
+	possess := inst.InitialPossession()
+	res := &Result{
+		Result: &sim.Result{Strategy: strat.Name(), Schedule: &core.Schedule{}},
+		Plan:   plan.Name(),
+	}
+	aware, _ := plan.Capacity.(dynamic.PossessionAware)
+
+	prevDown := make([]bool, n)
+	down := make([]bool, n)
+	perm := make([]bool, n)
+	// everDelivered tracks first deliveries for the retransmission count;
+	// unsat accumulates each receiver's proven-undeliverable tokens.
+	everDelivered := make([]tokenset.Set, n)
+	unsat := make([]tokenset.Set, n)
+	for v := 0; v < n; v++ {
+		everDelivered[v] = tokenset.New(inst.NumTokens)
+		unsat[v] = tokenset.New(inst.NumTokens)
+	}
+	idle := 0
+	needDetect := true // always vet reachability before the first step
+
+	finish := func(graceful bool) *Result {
+		res.Completed = done(inst, possess)
+		res.Graceful = graceful && !res.Completed
+		res.Steps = res.Schedule.Makespan()
+		res.Moves = res.Schedule.Moves() + res.Lost
+		res.DeliveredFraction = deliveredFraction(inst, possess)
+		res.Unsatisfiable = receiverReports(inst, possess, unsat)
+		if opts.Prune && res.Completed {
+			res.PrunedMoves = core.Prune(inst, res.Schedule).Moves()
+		}
+		return res
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		// Crash transitions first: a vertex that is down this step cannot
+		// send, receive, or plan, and its state-loss policy applies at the
+		// moment it goes down.
+		for v := 0; v < n; v++ {
+			down[v] = plan.Crashes.Down(step, v)
+			if down[v] {
+				res.DownSteps++
+				perm[v] = perm[v] || plan.Crashes.Permanent(step, v)
+			}
+			if down[v] && !prevDown[v] {
+				res.Crashes++
+				needDetect = true
+				switch plan.StateLoss {
+				case DropDownloads:
+					res.WastedMoves += possess[v].DifferenceCount(inst.Have[v])
+					possess[v].CopyFrom(inst.Have[v])
+				case DropAll:
+					res.WastedMoves += possess[v].DifferenceCount(inst.Have[v])
+					possess[v].Clear()
+				}
+			}
+			prevDown[v] = down[v]
+		}
+
+		if needDetect {
+			detect(inst, possess, perm, unsat)
+			needDetect = false
+		}
+		if done(inst, possess) {
+			return finish(false), nil
+		}
+		if settled(inst, possess, unsat) {
+			// Every remaining want is undeliverable: stop now, well before
+			// the horizon, with an explicit report.
+			return finish(true), nil
+		}
+
+		if aware != nil {
+			aware.Observe(step, possess)
+		}
+		eff, effInst := effectiveStep(inst, plan, down, step)
+		st := &sim.State{Inst: effInst, Possess: possess, Step: step, Rand: rng}
+		proposed := strat.Plan(st)
+		used := make(map[[2]int]int)
+		var accepted core.Step
+		for _, mv := range proposed {
+			key := [2]int{mv.From, mv.To}
+			if mv.Token < 0 || mv.Token >= inst.NumTokens ||
+				down[mv.From] || down[mv.To] ||
+				eff[key] == 0 || used[key] >= eff[key] ||
+				!possess[mv.From].Has(mv.Token) {
+				res.Rejected++
+				continue
+			}
+			used[key]++
+			accepted = append(accepted, mv)
+		}
+
+		if len(accepted) == 0 {
+			idle++
+			if idle > opts.IdlePatience {
+				// Re-check before declaring a stall: the strategy may be
+				// idle precisely because nothing deliverable remains.
+				detect(inst, possess, perm, unsat)
+				if settled(inst, possess, unsat) {
+					return finish(true), nil
+				}
+				return finish(false), fmt.Errorf("%w: step %d under %s", sim.ErrStalled, step, plan.Name())
+			}
+			res.Schedule.Append(accepted)
+			continue
+		}
+		idle = 0
+
+		// The plan's loss model replaces Options.LossRate: per-arc k
+		// indices give every accepted move its own deterministic draw.
+		lossIdx := make(map[[2]int]int)
+		var delivered core.Step
+		for _, mv := range accepted {
+			key := [2]int{mv.From, mv.To}
+			k := lossIdx[key]
+			lossIdx[key]++
+			if plan.Loss.Drop(step, mv.From, mv.To, k) {
+				res.Lost++
+				continue
+			}
+			delivered = append(delivered, mv)
+		}
+		for _, mv := range delivered {
+			if everDelivered[mv.To].Has(mv.Token) {
+				res.Retransmissions++
+			} else {
+				everDelivered[mv.To].Add(mv.Token)
+			}
+			possess[mv.To].Add(mv.Token)
+		}
+		res.Schedule.Append(delivered)
+	}
+	return finish(false), nil
+}
+
+// effectiveStep materializes the step's effective capacities — the capacity
+// model's output with crashed vertices' arcs removed — and an instance view
+// so strategies plan within the true constraints.
+func effectiveStep(inst *core.Instance, plan Plan, down []bool, step int) (map[[2]int]int, *core.Instance) {
+	eff := make(map[[2]int]int, inst.G.NumArcs())
+	g := graph.New(inst.N())
+	for _, a := range inst.G.Arcs() {
+		c := 0
+		if !down[a.From] && !down[a.To] {
+			c = plan.Capacity.Cap(step, a)
+			if c < 0 {
+				c = 0
+			}
+		}
+		eff[[2]int{a.From, a.To}] = c
+		if c > 0 {
+			_ = g.AddArc(a.From, a.To, c) // arcs are valid by construction
+		}
+	}
+	view := &core.Instance{G: g, NumTokens: inst.NumTokens, Have: inst.Have, Want: inst.Want}
+	return eff, view
+}
+
+// detect grows the per-receiver undeliverable-token sets: a missing token
+// is undeliverable when no copy survives on any vertex that is not
+// permanently down, or when no surviving holder reaches the receiver
+// through the subgraph of non-permanently-down vertices. Both conditions
+// are monotone — permanent failures accumulate and extinct tokens stay
+// extinct — so the sets only ever grow and detection need only run when a
+// crash occurs.
+//
+// Transiently-down vertices keep their place in the reachability graph:
+// they will return (with whatever possession the state-loss policy left
+// them), so their wants and holdings still count.
+func detect(inst *core.Instance, possess []tokenset.Set, perm []bool, unsat []tokenset.Set) {
+	n := inst.N()
+	g := graph.New(n)
+	for _, a := range inst.G.Arcs() {
+		if !perm[a.From] && !perm[a.To] {
+			_ = g.AddArc(a.From, a.To, a.Cap) // valid by construction
+		}
+	}
+	reachable := tokenset.New(inst.NumTokens)
+	for v := 0; v < n; v++ {
+		missing := inst.Want[v].Difference(possess[v])
+		if missing.Empty() {
+			continue
+		}
+		if perm[v] {
+			// A permanently-dead receiver can never take delivery.
+			unsat[v].UnionWith(missing)
+			continue
+		}
+		dist := g.BFSTo(v)
+		reachable.Clear()
+		for u := 0; u < n; u++ {
+			if dist[u] >= 0 && !perm[u] {
+				reachable.UnionWith(possess[u])
+			}
+		}
+		missing.DifferenceWith(reachable)
+		unsat[v].UnionWith(missing)
+	}
+}
+
+// settled reports whether every remaining missing token is proven
+// undeliverable — the graceful-termination condition.
+func settled(inst *core.Instance, possess []tokenset.Set, unsat []tokenset.Set) bool {
+	any := false
+	for v := range possess {
+		missing := inst.Want[v].Difference(possess[v])
+		if missing.Empty() {
+			continue
+		}
+		if !missing.SubsetOf(unsat[v]) {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// deliveredFraction is the fraction of all want-set entries satisfied.
+func deliveredFraction(inst *core.Instance, possess []tokenset.Set) float64 {
+	wanted, got := 0, 0
+	for v := range possess {
+		wanted += inst.Want[v].Count()
+		got += inst.Want[v].IntersectionCount(possess[v])
+	}
+	if wanted == 0 {
+		return 1
+	}
+	return float64(got) / float64(wanted)
+}
+
+// receiverReports lists receivers left with undeliverable wants.
+func receiverReports(inst *core.Instance, possess []tokenset.Set, unsat []tokenset.Set) []Receiver {
+	var out []Receiver
+	for v := range possess {
+		missing := inst.Want[v].Difference(possess[v])
+		undeliverable := missing.IntersectionCount(unsat[v])
+		if undeliverable == 0 {
+			continue
+		}
+		out = append(out, Receiver{
+			V:             v,
+			Wanted:        inst.Want[v].Count(),
+			Got:           inst.Want[v].IntersectionCount(possess[v]),
+			Undeliverable: undeliverable,
+		})
+	}
+	return out
+}
+
+// Validate replays a faulted schedule against the instance and plan,
+// checking that every recorded move used an existing arc within the step's
+// effective capacity (crashes and the capacity model applied), that no
+// move touched a crashed vertex, and that every sender possessed the token
+// at the start of the timestep — with the plan's crash transitions and
+// state-loss policy replayed on possession. Unlike core.Validate it does
+// not require the schedule to satisfy every want: faulted runs may
+// legitimately end partial. Lost moves are not recorded in the schedule,
+// so delivered traffic is a lower bound on each arc's usage.
+func Validate(inst *core.Instance, sched *core.Schedule, plan Plan) error {
+	plan = plan.normalized()
+	n := inst.N()
+	possess := inst.InitialPossession()
+	prevDown := make([]bool, n)
+	down := make([]bool, n)
+	aware, _ := plan.Capacity.(dynamic.PossessionAware)
+	used := make(map[[2]int]int)
+
+	for i, st := range sched.Steps {
+		for v := 0; v < n; v++ {
+			down[v] = plan.Crashes.Down(i, v)
+			if down[v] && !prevDown[v] {
+				switch plan.StateLoss {
+				case DropDownloads:
+					possess[v].CopyFrom(inst.Have[v])
+				case DropAll:
+					possess[v].Clear()
+				}
+			}
+			prevDown[v] = down[v]
+		}
+		if aware != nil {
+			aware.Observe(i, possess)
+		}
+		for k := range used {
+			delete(used, k)
+		}
+		for _, mv := range st {
+			if down[mv.From] || down[mv.To] {
+				return fmt.Errorf("fault: step %d move %v: endpoint crashed", i, mv)
+			}
+			base := inst.G.Cap(mv.From, mv.To)
+			if base == 0 {
+				return fmt.Errorf("fault: step %d move %v: arc does not exist", i, mv)
+			}
+			capacity := plan.Capacity.Cap(i, graph.Arc{From: mv.From, To: mv.To, Cap: base})
+			key := [2]int{mv.From, mv.To}
+			used[key]++
+			if used[key] > capacity {
+				return fmt.Errorf("fault: step %d move %v: effective capacity %d exceeded", i, mv, capacity)
+			}
+			if !possess[mv.From].Has(mv.Token) {
+				return fmt.Errorf("fault: step %d move %v: sender lacks token", i, mv)
+			}
+		}
+		for _, mv := range st {
+			possess[mv.To].Add(mv.Token)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/dynamic"
+	"ocd/internal/graph"
+	"ocd/internal/sim"
+)
+
+// lineInstance is 0→1→…→n−1 with capacity c; vertex 0 holds m tokens, the
+// tail wants them all.
+func lineInstance(t *testing.T, n, m, c int) *core.Instance {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddArc(i, i+1, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst := core.NewInstance(g, m)
+	inst.Have[0].AddRange(0, m)
+	inst.Want[n-1].AddRange(0, m)
+	return inst
+}
+
+// pusher sends every useful token to each successor up to capacity — a
+// minimal correct strategy that retries implicitly (it re-sends whatever
+// the receiver still lacks).
+type pusher struct{}
+
+func (pusher) Name() string { return "pusher" }
+
+func (pusher) Plan(st *sim.State) []core.Move {
+	var moves []core.Move
+	for u := 0; u < st.Inst.N(); u++ {
+		for _, a := range st.Inst.G.Out(u) {
+			sent := 0
+			st.Possess[u].ForEach(func(tok int) bool {
+				if sent >= a.Cap {
+					return false
+				}
+				if !st.Possess[a.To].Has(tok) {
+					moves = append(moves, core.Move{From: u, To: a.To, Token: tok})
+					sent++
+				}
+				return true
+			})
+		}
+	}
+	return moves
+}
+
+func pusherFactory(_ *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	return pusher{}, nil
+}
+
+func TestFaultFreePlanMatchesStaticEngine(t *testing.T) {
+	inst := lineInstance(t, 4, 3, 2)
+	res, err := Run(inst, pusherFactory, Plan{}, sim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.Run(inst, pusherFactory, sim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Graceful {
+		t.Fatalf("fault-free run: completed=%v graceful=%v", res.Completed, res.Graceful)
+	}
+	if !reflect.DeepEqual(res.Schedule, base.Schedule) {
+		t.Error("fault-free plan diverged from the static engine")
+	}
+	if res.DeliveredFraction != 1 {
+		t.Errorf("delivered fraction %v, want 1", res.DeliveredFraction)
+	}
+}
+
+// TestCrashedSoleHolderTerminatesGracefully is the acceptance scenario:
+// the sole holder crash-stops mid-run; the run must end well before the
+// Theorem 1 horizon with an explicit unsatisfiable-receivers report and a
+// partial delivered fraction — no patience-timeout stall — and identical
+// seeds must reproduce the identical faulted schedule.
+func TestCrashedSoleHolderTerminatesGracefully(t *testing.T) {
+	inst := lineInstance(t, 3, 6, 2)
+	plan := Plan{Crashes: CrashSchedule{Events: []CrashEvent{{V: 0, At: 1, RecoverAt: -1}}}}
+	opts := sim.Options{Seed: 1, IdlePatience: 50}
+
+	res, err := Run(inst, pusherFactory, plan, opts)
+	if err != nil {
+		t.Fatalf("graceful termination expected, got error %v", err)
+	}
+	if res.Completed {
+		t.Fatal("run completed despite the source crashing with 4 tokens undelivered")
+	}
+	if !res.Graceful {
+		t.Fatal("run did not terminate gracefully")
+	}
+	if res.Steps >= inst.TheoremOneHorizon() {
+		t.Errorf("took %d steps, not before the horizon %d", res.Steps, inst.TheoremOneHorizon())
+	}
+	if len(res.Unsatisfiable) != 1 || res.Unsatisfiable[0].V != 2 {
+		t.Fatalf("unsatisfiable receivers = %+v, want vertex 2", res.Unsatisfiable)
+	}
+	r := res.Unsatisfiable[0]
+	if r.Wanted != 6 || r.Got != 2 || r.Undeliverable != 4 {
+		t.Errorf("receiver report %+v, want 2/6 delivered with 4 undeliverable", r)
+	}
+	if want := 2.0 / 6.0; res.DeliveredFraction != want {
+		t.Errorf("delivered fraction %v, want %v", res.DeliveredFraction, want)
+	}
+	if err := core.ValidateConstraints(inst, res.Schedule); err != nil {
+		t.Errorf("partial schedule violates static constraints: %v", err)
+	}
+	if err := Validate(inst, res.Schedule, plan); err != nil {
+		t.Errorf("partial schedule fails plan replay: %v", err)
+	}
+
+	again, err := Run(inst, pusherFactory, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Schedule, again.Schedule) {
+		t.Error("identical seeds produced different faulted schedules")
+	}
+}
+
+func TestInitialPartitionStopsImmediately(t *testing.T) {
+	// 0→1 and 2→3 are separate components; 1 and 3 both want the file
+	// held by 0. Receiver 3 is unsatisfiable from step 0; receiver 1 is
+	// fine. The run must satisfy 1, then stop gracefully.
+	g := graph.New(4)
+	if err := g.AddArc(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddArc(2, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	inst := core.NewInstance(g, 4)
+	inst.Have[0].AddRange(0, 4)
+	inst.Want[1].AddRange(0, 4)
+	inst.Want[3].AddRange(0, 4)
+
+	res, err := Run(inst, pusherFactory, Plan{}, sim.Options{Seed: 1, IdlePatience: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Graceful || res.Completed {
+		t.Fatalf("partitioned run: graceful=%v completed=%v", res.Graceful, res.Completed)
+	}
+	if len(res.Unsatisfiable) != 1 || res.Unsatisfiable[0].V != 3 {
+		t.Fatalf("unsatisfiable = %+v, want vertex 3 only", res.Unsatisfiable)
+	}
+	if res.Unsatisfiable[0].Undeliverable != 4 {
+		t.Errorf("undeliverable = %d, want 4", res.Unsatisfiable[0].Undeliverable)
+	}
+	if want := 0.5; res.DeliveredFraction != want {
+		t.Errorf("delivered fraction %v, want %v (vertex 1 satisfied)", res.DeliveredFraction, want)
+	}
+}
+
+func TestCrashRecoveryKeepStateCompletes(t *testing.T) {
+	// The middle vertex goes down for a while with frozen state; the run
+	// just takes longer.
+	inst := lineInstance(t, 3, 4, 2)
+	plan := Plan{
+		Crashes:   CrashSchedule{Events: []CrashEvent{{V: 1, At: 1, RecoverAt: 5}}},
+		StateLoss: KeepState,
+	}
+	res, err := Run(inst, pusherFactory, plan, sim.Options{Seed: 1, IdlePatience: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("crash-recovery run did not complete")
+	}
+	if res.Crashes != 1 || res.DownSteps != 4 {
+		t.Errorf("crashes=%d downSteps=%d, want 1 and 4", res.Crashes, res.DownSteps)
+	}
+	if err := Validate(inst, res.Schedule, plan); err != nil {
+		t.Errorf("replay validation: %v", err)
+	}
+}
+
+func TestStateLossChargesWastedMoves(t *testing.T) {
+	inst := lineInstance(t, 3, 4, 2)
+	plan := Plan{
+		Crashes:   CrashSchedule{Events: []CrashEvent{{V: 1, At: 2, RecoverAt: 3}}},
+		StateLoss: DropDownloads,
+	}
+	res, err := Run(inst, pusherFactory, plan, sim.Options{Seed: 1, IdlePatience: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete after transient wipe")
+	}
+	if res.WastedMoves == 0 {
+		t.Error("vertex 1 lost downloads but WastedMoves = 0")
+	}
+	if res.Retransmissions == 0 {
+		t.Error("wiped tokens were re-delivered but Retransmissions = 0")
+	}
+	if err := Validate(inst, res.Schedule, plan); err != nil {
+		t.Errorf("replay validation: %v", err)
+	}
+}
+
+func TestDropAllMakesSoleTokensExtinct(t *testing.T) {
+	// Vertex 0 is the sole holder and crashes with full state loss, then
+	// recovers empty: the tokens are extinct even though every vertex is
+	// eventually up. The run must detect extinction and stop gracefully.
+	inst := lineInstance(t, 3, 4, 1)
+	plan := Plan{
+		Crashes:   CrashSchedule{Events: []CrashEvent{{V: 0, At: 1, RecoverAt: 3}}},
+		StateLoss: DropAll,
+	}
+	res, err := Run(inst, pusherFactory, plan, sim.Options{Seed: 1, IdlePatience: 30})
+	if err != nil {
+		t.Fatalf("expected graceful stop, got %v", err)
+	}
+	if res.Completed {
+		t.Fatal("completed despite token extinction")
+	}
+	if !res.Graceful {
+		t.Fatal("extinction not detected; run was not graceful")
+	}
+	if res.DeliveredFraction >= 1 || res.DeliveredFraction < 0 {
+		t.Errorf("delivered fraction %v out of range", res.DeliveredFraction)
+	}
+}
+
+func TestLossModelAccounting(t *testing.T) {
+	inst := lineInstance(t, 2, 20, 4)
+	plan := Plan{Loss: Bernoulli{P: 0.5, Seed: 3}}
+	res, err := Run(inst, pusherFactory, plan, sim.Options{Seed: 9, IdlePatience: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("lossy run incomplete")
+	}
+	if res.Lost == 0 {
+		t.Error("no losses at 50% loss")
+	}
+	if res.Moves != res.Schedule.Moves()+res.Lost {
+		t.Errorf("bandwidth accounting: %d != %d + %d", res.Moves, res.Schedule.Moves(), res.Lost)
+	}
+	if err := core.Validate(inst, res.Schedule); err != nil {
+		t.Errorf("lossy schedule invalid: %v", err)
+	}
+}
+
+func TestCapacityModelComposesWithCrashes(t *testing.T) {
+	inst := lineInstance(t, 4, 4, 3)
+	plan := Plan{
+		Loss:      NewGilbertElliott(0.2, 0.4, 0.02, 0.6, 7),
+		Crashes:   CrashSchedule{Events: []CrashEvent{{V: 2, At: 3, RecoverAt: 6}}},
+		StateLoss: DropDownloads,
+		Capacity:  dynamic.CrossTraffic{MaxShare: 0.6, Seed: 7},
+	}
+	res, err := Run(inst, pusherFactory, plan, sim.Options{Seed: 4, IdlePatience: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("composed-fault run incomplete")
+	}
+	// Replay against a freshly-built identical plan: the memoizing models
+	// must reproduce the same trajectories from scratch.
+	fresh := Plan{
+		Loss:      NewGilbertElliott(0.2, 0.4, 0.02, 0.6, 7),
+		Crashes:   CrashSchedule{Events: []CrashEvent{{V: 2, At: 3, RecoverAt: 6}}},
+		StateLoss: DropDownloads,
+		Capacity:  dynamic.CrossTraffic{MaxShare: 0.6, Seed: 7},
+	}
+	if err := Validate(inst, res.Schedule, fresh); err != nil {
+		t.Errorf("fresh-plan replay validation: %v", err)
+	}
+	if err := core.ValidateConstraints(inst, res.Schedule); err != nil {
+		t.Errorf("static constraint check: %v", err)
+	}
+}
+
+// silent never proposes anything; without any fault to explain the idling,
+// the engine must still report a stall.
+type silent struct{}
+
+func (silent) Name() string                { return "silent" }
+func (silent) Plan(*sim.State) []core.Move { return nil }
+
+func TestStallStillDetectedWhenSatisfiable(t *testing.T) {
+	inst := lineInstance(t, 3, 1, 1)
+	_, err := Run(inst, func(*core.Instance, *rand.Rand) (sim.Strategy, error) {
+		return silent{}, nil
+	}, Plan{}, sim.Options{Seed: 1, IdlePatience: 2})
+	if !errors.Is(err, sim.ErrStalled) {
+		t.Errorf("want ErrStalled, got %v", err)
+	}
+}
+
+func TestValidateRejectsMoveFromCrashedVertex(t *testing.T) {
+	inst := lineInstance(t, 3, 2, 2)
+	plan := Plan{Crashes: CrashSchedule{Events: []CrashEvent{{V: 0, At: 0, RecoverAt: -1}}}}
+	sched := &core.Schedule{}
+	sched.Append(core.Step{{From: 0, To: 1, Token: 0}})
+	if err := Validate(inst, sched, plan); err == nil {
+		t.Error("move from a crashed vertex validated")
+	}
+}

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+)
+
+// RetryOptions configures the retry-with-backoff wrapper.
+type RetryOptions struct {
+	// MaxAttempts caps the retries per (receiver, token) request; 0 means
+	// the default of 4. The original send does not count as an attempt.
+	MaxAttempts int
+	// BackoffBase is the delay in steps before the first retry; each
+	// further retry doubles it, capped at BackoffCap. Zeros mean the
+	// defaults of 1 and 8.
+	BackoffBase, BackoffCap int
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 1
+	}
+	if o.BackoffCap == 0 {
+		o.BackoffCap = 8
+	}
+	return o
+}
+
+// pending is one outstanding request: a move whose token has not yet shown
+// up at its destination.
+type pending struct {
+	from     int
+	attempts int
+	due      int
+}
+
+// retryStrategy wraps an inner strategy and re-requests tokens lost in
+// transit. It watches possession between turns: a move proposed at step s
+// whose token is still absent from the receiver at a later step was either
+// rejected or lost, so the wrapper re-issues it with exponential backoff —
+// from the original sender if it still holds the token on a live arc, else
+// from any current in-neighbor holder. Retries are emitted ahead of the
+// inner strategy's fresh moves so they get first claim on arc capacity.
+type retryStrategy struct {
+	inner   sim.Strategy
+	opts    RetryOptions
+	pending map[[2]int]*pending // (to, token) → request
+}
+
+// WithRetry wraps a strategy factory with the retry-with-backoff layer.
+func WithRetry(inner sim.Factory, opts RetryOptions) sim.Factory {
+	return func(inst *core.Instance, rng *rand.Rand) (sim.Strategy, error) {
+		s, err := inner(inst, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &retryStrategy{
+			inner:   s,
+			opts:    opts.withDefaults(),
+			pending: make(map[[2]int]*pending),
+		}, nil
+	}
+}
+
+func (r *retryStrategy) Name() string { return fmt.Sprintf("retry(%s)", r.inner.Name()) }
+
+func (r *retryStrategy) Plan(st *sim.State) []core.Move {
+	// Reap delivered and exhausted requests. Map iteration order is
+	// randomized, so collect keys and sort to keep runs replayable.
+	keys := make([][2]int, 0, len(r.pending))
+	for key := range r.pending {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	var moves []core.Move
+	claimed := make(map[[2]int]bool, len(r.pending))
+	for _, key := range keys {
+		p := r.pending[key]
+		to, token := key[0], key[1]
+		if st.Possess[to].Has(token) {
+			delete(r.pending, key)
+			continue
+		}
+		if p.attempts >= r.opts.MaxAttempts {
+			delete(r.pending, key)
+			continue
+		}
+		if p.due > st.Step {
+			continue
+		}
+		from := r.pickSender(st, to, token, p.from)
+		if from < 0 {
+			// No live holder adjacent right now; check again next step
+			// without burning an attempt.
+			p.due = st.Step + 1
+			continue
+		}
+		p.from = from
+		p.attempts++
+		p.due = st.Step + r.backoff(p.attempts)
+		claimed[key] = true
+		moves = append(moves, core.Move{From: from, To: to, Token: token})
+	}
+
+	// Fresh moves from the inner strategy, registered for tracking; skip
+	// any (to, token) a retry already covers this turn.
+	for _, mv := range r.inner.Plan(st) {
+		key := [2]int{mv.To, mv.Token}
+		if claimed[key] {
+			continue
+		}
+		if _, ok := r.pending[key]; !ok {
+			r.pending[key] = &pending{from: mv.From, due: st.Step + r.backoff(1)}
+		}
+		moves = append(moves, mv)
+	}
+	return moves
+}
+
+// backoff is the delay before the attempt-th retry: base·2^(attempt−1),
+// capped.
+func (r *retryStrategy) backoff(attempt int) int {
+	d := r.opts.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= r.opts.BackoffCap {
+			return r.opts.BackoffCap
+		}
+	}
+	if d > r.opts.BackoffCap {
+		d = r.opts.BackoffCap
+	}
+	return d
+}
+
+// pickSender returns a vertex currently holding token with a live arc into
+// to, preferring the previous sender; -1 if none exists this step.
+// st.Inst is the step's effective view, so crashed vertices and failed
+// links are already excluded.
+func (r *retryStrategy) pickSender(st *sim.State, to, token, prev int) int {
+	if prev >= 0 && st.Inst.G.Cap(prev, to) > 0 && st.Possess[prev].Has(token) {
+		return prev
+	}
+	for _, a := range st.Inst.G.In(to) {
+		if st.Possess[a.From].Has(token) {
+			return a.From
+		}
+	}
+	return -1
+}

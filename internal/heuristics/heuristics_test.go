@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ocd/internal/core"
+	"ocd/internal/fault"
 	"ocd/internal/graph"
 	"ocd/internal/sim"
 	"ocd/internal/topology"
@@ -376,5 +377,45 @@ func TestFloodingOrderingRoundRobinSlowest(t *testing.T) {
 	if steps["roundrobin"] <= steps["local"] || steps["roundrobin"] <= steps["random"] {
 		t.Errorf("round robin (%d) not slower than local (%d) / random (%d)",
 			steps["roundrobin"], steps["local"], steps["random"])
+	}
+}
+
+// TestAllHeuristicsSurviveTransientFaults drives every named heuristic
+// through the fault engine under crash-recovery churn with frozen state
+// plus mild bursty loss: each must still complete, and the faulted
+// schedule must replay cleanly against the plan.
+func TestAllHeuristicsSurviveTransientFaults(t *testing.T) {
+	g, err := topology.Random(18, topology.DefaultCaps, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 12)
+	mkPlan := func() fault.Plan {
+		return fault.Plan{
+			Loss:      fault.NewGilbertElliott(0.05, 0.4, 0.01, 0.4, 6),
+			Crashes:   fault.NewRandomCrashes(0.02, 0.4, 7, 0),
+			StateLoss: fault.KeepState,
+		}
+	}
+	for i, factory := range All() {
+		name := Names()[i]
+		res, err := fault.Run(inst, factory, mkPlan(), sim.Options{
+			Seed: 6, IdlePatience: 40,
+		})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Completed {
+			t.Errorf("%s: incomplete under transient faults (delivered %.2f)",
+				name, res.DeliveredFraction)
+			continue
+		}
+		if err := fault.Validate(inst, res.Schedule, mkPlan()); err != nil {
+			t.Errorf("%s: faulted schedule fails plan replay: %v", name, err)
+		}
+		if err := core.ValidateConstraints(inst, res.Schedule); err != nil {
+			t.Errorf("%s: faulted schedule violates static constraints: %v", name, err)
+		}
 	}
 }

@@ -26,6 +26,25 @@ import (
 // be idle while want/have knowledge is still propagating.
 var Local sim.Factory = newProtocolLocal
 
+// LocalWithGossipLoss returns protocol-local with lossy knowledge
+// exchange: the per-turn table message from→to is suppressed whenever drop
+// returns true (see fault.GossipLoss for the deterministic model). Dropped
+// gossip only delays knowledge — the versioned tables simply stay stale
+// until a later exchange gets through — so the strategy degrades to extra
+// turns rather than wrong moves. Run with IdlePatience scaled up
+// accordingly: the effective knowledge diameter grows with the drop rate.
+func LocalWithGossipLoss(drop func(step, from, to int) bool) sim.Factory {
+	return func(inst *core.Instance, rng *rand.Rand) (sim.Strategy, error) {
+		s, err := newProtocolLocal(inst, rng)
+		if err != nil {
+			return nil, err
+		}
+		p := s.(*protocolLocal)
+		p.drop = drop
+		return p, nil
+	}
+}
+
 // entry is one row of a vertex's knowledge table: what it believes some
 // vertex possesses and wants, and how fresh that belief is.
 type entry struct {
@@ -42,6 +61,9 @@ type nodeState struct {
 type protocolLocal struct {
 	nodes []nodeState
 	m     int
+	// drop, when non-nil, suppresses the knowledge message from→to for the
+	// step (lossy gossip).
+	drop func(step, from, to int) bool
 	// scratch for the per-turn exchange snapshot.
 	snapshot []nodeState
 }
@@ -86,6 +108,9 @@ func (p *protocolLocal) Plan(st *sim.State) []core.Move {
 		}
 		for v := 0; v < n; v++ {
 			merge := func(u int) {
+				if p.drop != nil && p.drop(st.Step, u, v) {
+					return
+				}
 				for w := 0; w < n; w++ {
 					their := p.snapshot[u].table[w]
 					if their.version > p.nodes[v].table[w].version {

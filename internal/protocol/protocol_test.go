@@ -1,9 +1,12 @@
 package protocol
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 
 	"ocd/internal/core"
+	"ocd/internal/fault"
 	"ocd/internal/heuristics"
 	"ocd/internal/sim"
 	"ocd/internal/topology"
@@ -100,5 +103,76 @@ func TestProtocolLocalSparseWants(t *testing.T) {
 	}
 	if !res.Completed {
 		t.Fatal("incomplete on sparse wants")
+	}
+}
+
+func TestGossipLossStillCompletes(t *testing.T) {
+	// Dropping 30% of knowledge messages only delays convergence: the
+	// versioned tables stay stale until an exchange succeeds. The run must
+	// still complete (with more patience) and stay deterministic.
+	g, err := topology.Random(20, topology.DefaultCaps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 15)
+	drop := fault.GossipLoss{P: 0.3, Seed: 9}
+	opts := sim.Options{Seed: 4, IdlePatience: 4 * (g.Diameter() + 2)}
+
+	res, err := sim.Run(inst, LocalWithGossipLoss(drop.Drop), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run under 30% gossip loss incomplete")
+	}
+	if err := core.Validate(inst, res.Schedule); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+
+	again, err := sim.Run(inst, LocalWithGossipLoss(fault.GossipLoss{P: 0.3, Seed: 9}.Drop), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Schedule, again.Schedule) {
+		t.Error("gossip loss broke schedule determinism")
+	}
+}
+
+func TestGossipLossSlowsConvergence(t *testing.T) {
+	g, err := topology.Random(20, topology.DefaultCaps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 15)
+	opts := sim.Options{Seed: 7, IdlePatience: 6 * (g.Diameter() + 2)}
+	clean, err := sim.Run(inst, Local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := sim.Run(inst, LocalWithGossipLoss(fault.GossipLoss{P: 0.6, Seed: 7}.Drop), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lossy.Completed {
+		t.Fatal("run under 60% gossip loss incomplete")
+	}
+	if lossy.Steps < clean.Steps {
+		t.Errorf("gossip loss accelerated the protocol: %d < %d steps", lossy.Steps, clean.Steps)
+	}
+}
+
+func TestTotalGossipLossStalls(t *testing.T) {
+	// With every knowledge message dropped, vertices only ever know
+	// themselves and no request can be formed: the run must stall rather
+	// than loop forever.
+	g, err := topology.Random(12, topology.DefaultCaps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 6)
+	_, err = sim.Run(inst, LocalWithGossipLoss(func(int, int, int) bool { return true }),
+		sim.Options{Seed: 2, IdlePatience: 5, MaxSteps: 100})
+	if !errors.Is(err, sim.ErrStalled) {
+		t.Errorf("want ErrStalled under total gossip loss, got %v", err)
 	}
 }

@@ -117,6 +117,18 @@ type Options struct {
 // MaxSteps without this error, reporting Completed=false).
 var ErrStalled = errors.New("sim: strategy stalled with unsatisfied wants")
 
+// lossStreamSalt separates the loss model's PRNG stream from the strategy
+// stream. Drawing both from one source would make enabling LossRate change
+// every randomized strategy's decisions for the same seed.
+const lossStreamSalt int64 = 0x6c6f7373 // "loss"
+
+// LossRand returns the engine's dedicated loss-draw PRNG for a run seed.
+// Exported so alternative engines (internal/dynamic) drop losses from the
+// identical stream.
+func LossRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ lossStreamSalt))
+}
+
 // Run executes the strategy produced by factory on inst until every want is
 // satisfied or the step limit is reached.
 func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
@@ -132,6 +144,7 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	lossRng := LossRand(opts.Seed)
 	strat, err := factory(inst, rng)
 	if err != nil {
 		return nil, fmt.Errorf("sim: create strategy: %w", err)
@@ -179,10 +192,12 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 		idle = 0
 		// Apply the §6 loss model: lost moves burned capacity and
 		// bandwidth but deliver nothing and are not recorded, so the
-		// schedule stays valid under the lossless formal model.
+		// schedule stays valid under the lossless formal model. Loss draws
+		// come from their own stream so the strategy's randomness is
+		// unchanged by the loss setting.
 		var delivered core.Step
 		for _, mv := range accepted {
-			if opts.LossRate > 0 && rng.Float64() < opts.LossRate {
+			if opts.LossRate > 0 && lossRng.Float64() < opts.LossRate {
 				res.Lost++
 				continue
 			}

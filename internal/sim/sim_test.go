@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"ocd/internal/core"
@@ -264,6 +265,73 @@ func TestRunLossZeroIsLossless(t *testing.T) {
 	}
 	if res.Lost != 0 {
 		t.Errorf("lost %d moves at zero loss rate", res.Lost)
+	}
+}
+
+// randomPusher picks a uniformly random useful token per arc each turn —
+// a minimal randomized strategy whose decisions expose any perturbation of
+// the strategy PRNG stream.
+type randomPusher struct{}
+
+func (randomPusher) Name() string { return "random-pusher" }
+
+func (randomPusher) Plan(st *State) []core.Move {
+	var moves []core.Move
+	for u := 0; u < st.Inst.N(); u++ {
+		for _, a := range st.Inst.G.Out(u) {
+			useful := st.Possess[u].Difference(st.Possess[a.To]).Slice()
+			for c := 0; c < a.Cap && len(useful) > 0; c++ {
+				i := st.Rand.Intn(len(useful))
+				moves = append(moves, core.Move{From: u, To: a.To, Token: useful[i]})
+				useful = append(useful[:i], useful[i+1:]...)
+			}
+		}
+	}
+	return moves
+}
+
+// recorder logs every move its inner strategy proposes.
+type recorder struct {
+	inner Strategy
+	log   *[]core.Move
+}
+
+func (r recorder) Name() string { return r.inner.Name() }
+
+func (r recorder) Plan(st *State) []core.Move {
+	mvs := r.inner.Plan(st)
+	*r.log = append(*r.log, mvs...)
+	return mvs
+}
+
+// TestLossStreamDecoupledFromStrategy is the regression test for the
+// loss/strategy PRNG coupling: enabling LossRate must not change a
+// randomized strategy's decisions for the same seed. A loss rate small
+// enough to never actually drop anything still performs a draw per
+// delivered move, so with a shared stream the two runs below would
+// diverge from the second timestep on.
+func TestLossStreamDecoupledFromStrategy(t *testing.T) {
+	inst := lineInstance(t, 4, 6, 2)
+	run := func(loss float64) ([]core.Move, *Result) {
+		var log []core.Move
+		res, err := Run(inst, func(*core.Instance, *rand.Rand) (Strategy, error) {
+			return recorder{inner: randomPusher{}, log: &log}, nil
+		}, Options{Seed: 42, LossRate: loss, IdlePatience: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return log, res
+	}
+	plain, _ := run(0)
+	lossy, res := run(1e-12)
+	if res.Lost != 0 {
+		t.Fatalf("wanted a drop-free lossy run, lost %d", res.Lost)
+	}
+	if !res.Completed {
+		t.Fatal("lossy run incomplete")
+	}
+	if len(plain) == 0 || !reflect.DeepEqual(plain, lossy) {
+		t.Error("enabling LossRate changed the strategy's proposed moves for the same seed")
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"ocd/internal/core"
 	"ocd/internal/exact"
 	"ocd/internal/experiments"
+	"ocd/internal/fault"
 	"ocd/internal/flow"
 	"ocd/internal/graph"
 	"ocd/internal/heuristics"
@@ -77,6 +78,121 @@ type (
 	// ExactOptions bounds the exact solvers.
 	ExactOptions = exact.Options
 )
+
+// Fault injection (robustness extension) — deterministic, replayable fault
+// plans for the engine in internal/fault.
+type (
+	// FaultPlan composes loss, crash, state-loss, capacity, and gossip
+	// models; the zero value is fault-free.
+	FaultPlan = fault.Plan
+	// FaultResult extends RunResult with the degradation report.
+	FaultResult = fault.Result
+	// FaultReceiver is one receiver's outcome under faults.
+	FaultReceiver = fault.Receiver
+	// LossModel decides per-move drops as a pure function of (step, arc,
+	// move index).
+	LossModel = fault.LossModel
+	// CrashModel decides per-step vertex downtime.
+	CrashModel = fault.CrashModel
+	// CrashEvent is one scripted crash (RecoverAt < 0 = crash-stop).
+	CrashEvent = fault.CrashEvent
+	// CrashSchedule replays scripted crash events.
+	CrashSchedule = fault.CrashSchedule
+	// StateLossPolicy selects what a crashing vertex forgets.
+	StateLossPolicy = fault.StateLoss
+	// RetryOptions configures the retry-with-backoff wrapper.
+	RetryOptions = fault.RetryOptions
+)
+
+// State-loss policies for crashing vertices.
+const (
+	// KeepState freezes possession across downtime.
+	KeepState = fault.KeepState
+	// DropDownloads reverts a crashing vertex to its initial have set.
+	DropDownloads = fault.DropDownloads
+	// DropAll wipes a crashing vertex entirely — tokens can go extinct.
+	DropAll = fault.DropAll
+)
+
+// BernoulliLoss drops each move independently with probability P.
+func BernoulliLoss(p float64, seed int64) LossModel { return fault.Bernoulli{P: p, Seed: seed} }
+
+// GilbertElliottLoss returns the two-state bursty channel loss model.
+func GilbertElliottLoss(pGoodBad, pBadGood, lossGood, lossBad float64, seed int64) LossModel {
+	return fault.NewGilbertElliott(pGoodBad, pBadGood, lossGood, lossBad, seed)
+}
+
+// RandomCrashes returns memoryless crash/recovery churn; recoverP = 0
+// makes every crash permanent, and protected vertices never fail.
+func RandomCrashes(crashP, recoverP float64, seed int64, protect ...int) CrashModel {
+	return fault.NewRandomCrashes(crashP, recoverP, seed, protect...)
+}
+
+// FaultPlanAtIntensity builds the canonical chaos plan at intensity
+// x ∈ [0,1]: bursty loss, crash/recovery churn with download loss, and
+// gossip loss, all scaled by x. Protected vertices never crash.
+func FaultPlanAtIntensity(x float64, seed int64, protect ...int) FaultPlan {
+	return fault.AtIntensity(x, seed, protect...)
+}
+
+// RunFaulted runs the named heuristic under the fault plan using the
+// crash/recovery-aware engine: it detects provably undeliverable receivers
+// via live-holder reachability and terminates gracefully with degradation
+// metrics instead of stalling.
+func RunFaulted(inst *Instance, name string, plan FaultPlan, opts RunOptions) (*FaultResult, error) {
+	f, err := HeuristicFactory(name)
+	if err != nil {
+		return nil, err
+	}
+	return fault.Run(inst, f, plan, opts)
+}
+
+// RunFaultedStrategy is RunFaulted for a custom strategy factory.
+func RunFaultedStrategy(inst *Instance, factory StrategyFactory, plan FaultPlan, opts RunOptions) (*FaultResult, error) {
+	return fault.Run(inst, factory, plan, opts)
+}
+
+// ValidateFaulted replays a faulted schedule against the plan's crash and
+// capacity trajectory, checking constraints only — faulted runs may
+// legitimately end partial.
+func ValidateFaulted(inst *Instance, sched *Schedule, plan FaultPlan) error {
+	return fault.Validate(inst, sched, plan)
+}
+
+// ValidateConstraints checks the capacity/possession constraints of a
+// schedule without requiring that it satisfies every want set.
+func ValidateConstraints(inst *Instance, sched *Schedule) error {
+	return core.ValidateConstraints(inst, sched)
+}
+
+// RetryFactory wraps a strategy factory in the retry-with-backoff sender:
+// moves proposed by the inner strategy that fail to deliver are re-offered
+// with exponential backoff, re-routing around crashed senders.
+func RetryFactory(inner StrategyFactory, opts RetryOptions) StrategyFactory {
+	return fault.WithRetry(inner, opts)
+}
+
+// ProtocolLocalWithGossipLoss is ProtocolLocalFactory with lossy knowledge
+// gossip: each per-turn neighbor exchange is skipped when drop returns
+// true (pair with FaultPlan.Gossip).
+func ProtocolLocalWithGossipLoss(drop func(step, from, to int) bool) StrategyFactory {
+	return protocol.LocalWithGossipLoss(drop)
+}
+
+// ExperimentChaos sweeps fault intensity × heuristic under the canonical
+// chaos plan, reporting outcome, delivered fraction, loss/retransmission/
+// waste counters, and makespan inflation over a fault-free baseline.
+// Heuristic names accept a "retry-" prefix for the backoff wrapper.
+func ExperimentChaos(n, tokens int, intensities []float64, heuristicNames []string, seed int64) (*Table, error) {
+	return experiments.Chaos(n, tokens, intensities, heuristicNames, seed)
+}
+
+// ExperimentCrashedSource crash-stops the sole holder of a single-file
+// workload at the given step and shows every heuristic terminating
+// gracefully with an explicit unsatisfiable-receiver report.
+func ExperimentCrashedSource(n, tokens, crashAt int, seed int64) (*Table, error) {
+	return experiments.CrashedSource(n, tokens, crashAt, seed)
+}
 
 // DefaultCaps is the paper's capacity range: 3..15 tokens per timestep.
 var DefaultCaps = topology.DefaultCaps
@@ -136,11 +252,19 @@ func Heuristics() []string { return heuristics.Names() }
 
 // HeuristicFactory returns the factory for a named strategy: the paper's
 // five heuristics plus the extensions — "tree" and "forest-K" (§2
-// architectures), "protocol-local" (§4.1 message passing), and
-// "local-delayed-K" (§5.1 stale knowledge).
+// architectures), "protocol-local" (§4.1 message passing),
+// "local-delayed-K" (§5.1 stale knowledge), and "retry-<name>" (any of the
+// above wrapped in the retry-with-backoff sender for faulted runs).
 func HeuristicFactory(name string) (StrategyFactory, error) {
 	if f, ok := heuristics.Named(name); ok {
 		return f, nil
+	}
+	if inner, ok := strings.CutPrefix(name, "retry-"); ok {
+		f, err := HeuristicFactory(inner)
+		if err != nil {
+			return nil, err
+		}
+		return fault.WithRetry(f, fault.RetryOptions{}), nil
 	}
 	switch {
 	case name == "tree":
@@ -160,7 +284,7 @@ func HeuristicFactory(name string) (StrategyFactory, error) {
 		}
 		return heuristics.LocalDelayed(d), nil
 	}
-	return nil, fmt.Errorf("ocd: unknown heuristic %q (have %v plus tree, forest-K, protocol-local, local-delayed-K)",
+	return nil, fmt.Errorf("ocd: unknown heuristic %q (have %v plus tree, forest-K, protocol-local, local-delayed-K, retry-<name>)",
 		name, heuristics.Names())
 }
 
