@@ -132,10 +132,15 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// A failed write (closed pipe, full disk) must not pass for a
+		// successful table: report it instead of dropping it.
 		if *csv {
-			fmt.Fprint(stdout, t.CSV())
+			_, err = fmt.Fprint(stdout, t.CSV())
 		} else {
-			fmt.Fprintln(stdout, t.ASCII())
+			_, err = fmt.Fprintln(stdout, t.ASCII())
+		}
+		if err != nil {
+			return fmt.Errorf("writing table: %w", err)
 		}
 		return nil
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -58,5 +59,17 @@ func TestParams(t *testing.T) {
 	}
 	if _, err := params("tiny"); err == nil {
 		t.Error("unknown scale accepted")
+	}
+}
+
+// failWriter always fails, modelling a closed pipe.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("pipe closed") }
+
+func TestWriteErrorReported(t *testing.T) {
+	err := run([]string{"-fig", "1"}, failWriter{})
+	if err == nil || !strings.Contains(err.Error(), "writing table") {
+		t.Fatalf("want write error reported, got %v", err)
 	}
 }

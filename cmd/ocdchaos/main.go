@@ -69,10 +69,15 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Report write failures (closed pipe, full disk) instead of
+	// silently exiting zero with a truncated table.
 	if *csv {
-		fmt.Fprint(stdout, tab.CSV())
+		_, err = fmt.Fprint(stdout, tab.CSV())
 	} else {
-		fmt.Fprint(stdout, tab.ASCII())
+		_, err = fmt.Fprint(stdout, tab.ASCII())
+	}
+	if err != nil {
+		return fmt.Errorf("writing table: %w", err)
 	}
 	return nil
 }

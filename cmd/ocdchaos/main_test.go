@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -68,5 +69,24 @@ func TestDeterministicOutput(t *testing.T) {
 		"-heuristics", "local,random", "-seed", "9"}
 	if runOK(t, args...) != runOK(t, args...) {
 		t.Error("identical seeds produced different sweeps")
+	}
+}
+
+// failWriter fails after the first write, modelling a closed pipe.
+type failWriter struct{ wrote bool }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.wrote {
+		return 0, errors.New("pipe closed")
+	}
+	w.wrote = true
+	return len(p), nil
+}
+
+func TestWriteErrorReported(t *testing.T) {
+	err := run([]string{"-n", "12", "-tokens", "6", "-intensities", "0", "-heuristics", "local"},
+		&failWriter{wrote: true})
+	if err == nil || !strings.Contains(err.Error(), "writing table") {
+		t.Fatalf("want write error reported, got %v", err)
 	}
 }

@@ -1,0 +1,37 @@
+// Command ocdlint is the repository's determinism vettool: a
+// unitchecker driver bundling the custom static analyzers that keep
+// every simulator run a pure function of its seed.
+//
+// It is meant to be invoked through go vet, which feeds it one
+// compilation unit at a time:
+//
+//	go build -o /tmp/ocdlint ./cmd/ocdlint
+//	go vet -vettool=/tmp/ocdlint ./...
+//
+// Analyzer documentation (including per-analyzer flags such as
+// -detrand.packages and -checkederr.funcs) is available via:
+//
+//	/tmp/ocdlint help
+//	/tmp/ocdlint help maporder
+//
+// The bundled analyzers are detrand (no wall clock or global PRNG in
+// deterministic packages), maporder (no map-iteration order reaching
+// ordering-sensitive sinks without a justified //ocd:orderinvariant
+// directive), and checkederr (validation errors must be consumed).
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ocd/internal/analysis/checkederr"
+	"ocd/internal/analysis/detrand"
+	"ocd/internal/analysis/maporder"
+)
+
+func main() {
+	unitchecker.Main(
+		detrand.Analyzer,
+		maporder.Analyzer,
+		checkederr.Analyzer,
+	)
+}

@@ -1,0 +1,12 @@
+// Package badmod seeds one maporder violation so the ocdlint driver
+// test can assert a nonzero go vet exit status.
+package badmod
+
+import "fmt"
+
+// Dump leaks map iteration order to stdout.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

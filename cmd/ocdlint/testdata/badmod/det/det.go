@@ -1,0 +1,9 @@
+// Package det seeds a detrand violation that fires only when the driver
+// is invoked with -detrand.packages=badmod/det, proving per-analyzer
+// flags reach the vettool through go vet.
+package det
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,15 @@
+// Package cleanmod contains no analyzer violations; the driver test
+// asserts go vet exits zero here.
+package cleanmod
+
+import "sort"
+
+// SortedKeys is the sanctioned sorted-iteration pattern.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

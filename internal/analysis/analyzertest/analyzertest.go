@@ -1,0 +1,268 @@
+// Package analyzertest runs go/analysis analyzers over source fixtures
+// and checks their diagnostics against // want annotations.
+//
+// It is a self-contained, offline replacement for the upstream
+// golang.org/x/tools/go/analysis/analysistest package (which is not
+// vendored with the Go toolchain): fixtures live under
+// <testdata>/src/<importpath>/, are typechecked against the standard
+// library via the source importer, and every diagnostic must be matched
+// by a // want annotation on the same line, written as one or more
+// backquoted regular expressions:
+//
+//	for k := range m { // want `ordering-sensitive`
+//
+// Unmatched expectations and unexpected diagnostics both fail the test.
+// Fixture files may import only the standard library and sibling fixture
+// packages; that keeps the harness hermetic.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture package at <testdata>/src/<pkgpath>, applies the
+// analyzer (running its Requires dependencies first), and reports any
+// mismatch between diagnostics and // want annotations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
+		t.Fatalf("invalid analyzer: %v", err)
+	}
+	diags, fset, files, err := runOnFixture(testdata, a, pkgpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiagnostics(t, fset, files, diags)
+}
+
+// Diagnostics runs the analyzer on the fixture and returns the raw
+// diagnostics, for tests that assert on them directly.
+func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []analysis.Diagnostic {
+	t.Helper()
+	diags, _, _, err := runOnFixture(testdata, a, pkgpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func runOnFixture(testdata string, a *analysis.Analyzer, pkgpath string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File, error) {
+	dir := filepath.Join(testdata, "src", pkgpath)
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: fixtureImporter{
+			testdata: testdata,
+			fset:     fset,
+			std:      importer.ForCompiler(fset, "source", nil),
+			cache:    map[string]*types.Package{},
+		},
+	}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("typechecking %s: %v", pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	_, err = runAnalyzer(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	}, map[*analysis.Analyzer]interface{}{})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("running %s: %v", a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, fset, files, nil
+}
+
+// runAnalyzer executes a (and, recursively, its Requires closure) on one
+// package, memoizing results so shared dependencies run once.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, report func(analysis.Diagnostic),
+	results map[*analysis.Analyzer]interface{}) (interface{}, error) {
+
+	if res, done := results[a]; done {
+		return res, nil
+	}
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, dep := range a.Requires {
+		res, err := runAnalyzer(dep, fset, files, pkg, info, func(analysis.Diagnostic) {}, results)
+		if err != nil {
+			return nil, fmt.Errorf("dependency %s: %v", dep.Name, err)
+		}
+		resultOf[dep] = res
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report:     report,
+		ReadFile:   os.ReadFile,
+
+		// The analyzers under test declare no FactTypes; stub the fact
+		// API so an accidental use fails loudly instead of mysteriously.
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { panic("facts unsupported in analyzertest") },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { panic("facts unsupported in analyzertest") },
+		ExportObjectFact:  func(types.Object, analysis.Fact) { panic("facts unsupported in analyzertest") },
+		ExportPackageFact: func(analysis.Fact) { panic("facts unsupported in analyzertest") },
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = res
+	return res, nil
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading fixture dir: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return files, nil
+}
+
+// fixtureImporter resolves standard-library imports through the source
+// importer and sibling fixture packages from testdata/src.
+type fixtureImporter struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	cache    map[string]*types.Package
+}
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.testdata, "src", path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		files, err := parseDir(fi.fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: fi}
+		pkg, err := conf.Check(path, fi.fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		fi.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := fi.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	fi.cache[path] = pkg
+	return pkg, nil
+}
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+var patternRE = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// checkDiagnostics diffs diagnostics against the fixtures' // want
+// annotations.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			t.Fatalf("re-reading fixture: %v", err)
+		}
+		for i, lineText := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			pats := patternRE.FindAllStringSubmatch(m[1], -1)
+			if len(pats) == 0 {
+				t.Fatalf("%s:%d: // want with no backquoted pattern", fname, i+1)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad // want pattern %q: %v", fname, i+1, p[1], err)
+				}
+				wants = append(wants, &expectation{file: fname, line: i + 1, re: re, raw: p[1]})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched // want `%s`", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package checkederr
+
+import (
+	"strings"
+	"testing"
+
+	"ocd/internal/analysis/analyzertest"
+)
+
+func TestCheckedErr(t *testing.T) {
+	old := funcsFlag
+	if err := Analyzer.Flags.Set("funcs", "a.Validate,(a.Schedule).Check"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { funcsFlag = old })
+	analyzertest.Run(t, "testdata", Analyzer, "a")
+}
+
+func TestDefaultTargets(t *testing.T) {
+	// The default set is the runtime half of the determinism contract;
+	// losing an entry silently un-guards its call sites.
+	for _, want := range []string{
+		"ocd.Validate",
+		"ocd/internal/core.Validate",
+		"ocd/internal/core.ValidateConstraints",
+		"ocd/internal/fault.Validate",
+	} {
+		if !strings.Contains(funcsFlag, want) {
+			t.Errorf("default -funcs misses %s", want)
+		}
+	}
+}

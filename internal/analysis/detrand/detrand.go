@@ -1,0 +1,216 @@
+// Package detrand defines an analyzer that forbids nondeterministic
+// randomness and wall-clock reads in the simulator's deterministic
+// packages.
+//
+// Reproducibility of every experiment table rests on runs being pure
+// functions of their seed: the same (instance, heuristic, seed) triple
+// must yield byte-identical schedules, and fault plans promise
+// byte-identical replay. Code in the deterministic packages therefore
+// must draw randomness only from an injected *rand.Rand (typically
+// sim.State.Rand or a Factory argument) and must never consult the wall
+// clock. This analyzer enforces that contract at compile time.
+package detrand
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+const doc = `forbid global randomness and wall-clock reads in deterministic packages
+
+In packages that must be pure functions of their seed (internal/sim,
+internal/heuristics, internal/fault, internal/dynamic, internal/topology,
+internal/core by default), detrand reports:
+
+  - calls to time.Now and time.Since (wall-clock reads);
+  - uses of math/rand and math/rand/v2 top-level functions that draw
+    from the process-global generator (rand.Intn, rand.Float64,
+    rand.Perm, rand.Shuffle, rand.Seed, ...);
+  - package-level variables holding PRNG state (*rand.Rand or
+    rand.Source), which would be shared across runs.
+
+Constructors (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG,
+rand.NewChaCha8) and the rand.Rand/rand.Source types themselves are
+allowed: injecting a locally seeded generator is exactly the sanctioned
+pattern. The -packages flag replaces the default deterministic package
+list (comma-separated import paths; a package matches an entry exactly,
+as a path prefix entry/..., or as the entry's external test package).`
+
+// Analyzer is the detrand go/analysis entry point.
+var Analyzer = &analysis.Analyzer{
+	Name:     "detrand",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// defaultPackages is the deterministic core of the simulator: everything
+// that participates in planning, scheduling, or replaying moves.
+var defaultPackages = []string{
+	"ocd/internal/sim",
+	"ocd/internal/heuristics",
+	"ocd/internal/fault",
+	"ocd/internal/dynamic",
+	"ocd/internal/topology",
+	"ocd/internal/core",
+}
+
+var packagesFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages", strings.Join(defaultPackages, ","),
+		"comma-separated import paths of deterministic packages")
+}
+
+// bannedFuncs maps package path -> function names whose use implies
+// process-global nondeterminism.
+var bannedFuncs = map[string]map[string]bool{
+	"time": {
+		"Now":   true,
+		"Since": true,
+		"Until": true,
+	},
+	"math/rand": {
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true,
+		"NormFloat64": true, "Perm": true, "Shuffle": true,
+		"Read": true, "Seed": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+		"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+		"N": true, "Float32": true, "Float64": true, "ExpFloat64": true,
+		"NormFloat64": true, "Perm": true, "Shuffle": true,
+	},
+}
+
+// prngStatePkgs are the packages whose Rand/Source types constitute PRNG
+// state when stored in a package-level variable.
+var prngStatePkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.SelectorExpr)(nil),
+		(*ast.GenDecl)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkSelector(pass, n)
+		case *ast.GenDecl:
+			// Only package-level declarations: the enclosing node two
+			// frames up (File -> GenDecl) marks file scope.
+			if len(stack) >= 2 {
+				if _, ok := stack[len(stack)-2].(*ast.File); ok {
+					checkGlobalState(pass, n)
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// deterministic reports whether pkgPath falls under the configured
+// deterministic package set. External test packages ("p_test") and
+// subpackages of an entry are included.
+func deterministic(pkgPath string) bool {
+	for _, entry := range strings.Split(packagesFlag, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if pkgPath == entry ||
+			pkgPath == entry+"_test" ||
+			strings.HasPrefix(pkgPath, entry+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	names, banned := bannedFuncs[fn.Pkg().Path()]
+	if !banned || !names[fn.Name()] {
+		return
+	}
+	// Methods (e.g. (*rand.Rand).Intn) are the sanctioned injected form;
+	// only package-level functions reach global state.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	pass.Reportf(sel.Pos(), "use of nondeterministic %s.%s in deterministic package %s: inject a *rand.Rand (or pass the clock) instead",
+		fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+}
+
+// checkGlobalState reports package-level variables that hold PRNG state.
+func checkGlobalState(pass *analysis.Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				continue // constants cannot hold PRNG state
+			}
+			if kind := prngStateKind(obj.Type()); kind != "" {
+				pass.Reportf(name.Pos(), "package-level %s %s holds PRNG state shared across runs; inject a per-run *rand.Rand instead",
+					kind, name.Name)
+			}
+		}
+	}
+}
+
+// prngStateKind classifies t as PRNG state ("*rand.Rand", "rand.Source",
+// ...) or returns "" if it is not.
+func prngStateKind(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		// Interface types (rand.Source) reach here as Named too; a bare
+		// unnamed type is never PRNG state.
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !prngStatePkgs[obj.Pkg().Path()] {
+		return ""
+	}
+	switch obj.Name() {
+	case "Rand":
+		return "*rand.Rand variable"
+	case "Source", "Source64", "PCG", "ChaCha8":
+		return fmt.Sprintf("rand.%s variable", obj.Name())
+	}
+	return ""
+}

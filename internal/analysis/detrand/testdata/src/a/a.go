@@ -1,0 +1,35 @@
+// Package a is a detrand fixture playing the role of a deterministic
+// simulator package (the test sets -packages=a).
+package a
+
+import (
+	"math/rand"
+	v2 "math/rand/v2"
+	"time"
+)
+
+var globalRNG = rand.New(rand.NewSource(1)) // want `package-level \*rand\.Rand variable globalRNG holds PRNG state`
+
+var globalSrc rand.Source // want `rand\.Source variable globalSrc holds PRNG state`
+
+const tokens = 12 // constants are fine
+
+var horizon = tokens * 2 // non-PRNG globals are fine
+
+func clocked() time.Duration {
+	start := time.Now()      // want `use of nondeterministic time\.Now`
+	return time.Since(start) // want `use of nondeterministic time\.Since`
+}
+
+func globalDraws() int {
+	n := rand.Intn(10)                 // want `use of nondeterministic math/rand\.Intn`
+	rand.Shuffle(3, func(i, j int) {}) // want `use of nondeterministic math/rand\.Shuffle`
+	return n + v2.IntN(7)              // want `use of nondeterministic math/rand/v2\.IntN`
+}
+
+// injected demonstrates the sanctioned pattern: construct or accept a
+// local generator and call its methods.
+func injected(rng *rand.Rand) int {
+	local := rand.New(rand.NewSource(42))
+	return local.Intn(10) + rng.Intn(3) + len(rng.Perm(4))
+}

@@ -1,0 +1,12 @@
+// Package notdet is a detrand fixture for a package outside the
+// deterministic set: identical violations, zero diagnostics expected.
+package notdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+var clock = time.Now()
+
+func draw() int { return rand.Intn(10) }

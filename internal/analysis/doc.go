@@ -1,0 +1,27 @@
+// Package analysis hosts the repository's custom static analyzers.
+//
+// The paper's empirical claims (heuristic rankings, Fig. 1-style sweeps)
+// are reproducible only if every simulator run is a pure function of its
+// seed, and the fault plans of internal/fault promise byte-identical
+// replay. The runtime property tests check that promise per run; the
+// analyzers here enforce it at compile time for every future change:
+//
+//   - detrand forbids wall-clock and global-PRNG randomness inside the
+//     deterministic packages, requiring all randomness to flow through an
+//     injected *rand.Rand.
+//   - maporder flags range-over-map loops whose bodies reach
+//     ordering-sensitive sinks (appends, writers, channel sends, float or
+//     string accumulation) unless annotated with //ocd:orderinvariant.
+//   - checkederr requires callers to consume the validation errors of
+//     core.Validate, core.ValidateConstraints, and fault.Validate.
+//
+// The analyzers are wired into `go vet` through cmd/ocdlint, a vettool
+// built on golang.org/x/tools/go/analysis/unitchecker:
+//
+//	go build -o /tmp/ocdlint ./cmd/ocdlint
+//	go vet -vettool=/tmp/ocdlint ./...
+//
+// Each analyzer lives in its own subpackage with analyzertest-based tests
+// whose testdata fixtures carry `// want` expectations, mirroring the
+// upstream analysistest convention.
+package analysis

@@ -1,0 +1,324 @@
+// Package maporder defines an analyzer that flags range-over-map loops
+// whose iteration order can leak into ordering-sensitive results.
+//
+// Go randomizes map iteration order on purpose, so a loop that ranges
+// over a map and appends to a slice, writes to an output stream, sends on
+// a channel, or accumulates non-commutative values produces a different
+// result on every run — precisely the nondeterminism that breaks
+// byte-identical schedule replay. The fix is to iterate over sorted keys;
+// when a loop is genuinely order-invariant (pure per-key writes,
+// commutative integer aggregation the analyzer cannot prove), it can be
+// annotated with a justified directive:
+//
+//	//ocd:orderinvariant <reason>
+//	for k, v := range m { ... }
+//
+// The directive must carry a non-empty reason and must sit on the line of
+// the range statement or immediately above it.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+const doc = `flag range-over-map loops that reach ordering-sensitive sinks
+
+A range over a map runs in randomized order. If the loop body appends to
+a slice declared outside the loop, calls an ordering-sensitive writer
+(fmt print family, Write/WriteString/WriteRune/WriteByte/Append methods,
+io.WriteString), sends on a channel, or compound-assigns to an outer
+string or floating-point variable (both non-commutative), the final
+result depends on that order. Iterate over sorted keys instead, or annotate
+the loop with "//ocd:orderinvariant <reason>" when order provably does
+not matter.`
+
+// Directive is the comment prefix that suppresses maporder diagnostics.
+const Directive = "//ocd:orderinvariant"
+
+// Analyzer is the maporder go/analysis entry point.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Directive positions per file: line -> reason (may be empty).
+	directives := collectDirectives(pass)
+
+	nodeFilter := []ast.Node{(*ast.RangeStmt)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rng := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		line := pass.Fset.Position(rng.Pos()).Line
+		file := pass.Fset.Position(rng.Pos()).Filename
+		if reason, ok := directives[directiveKey{file, line}]; ok {
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(rng.Pos(), "%s directive requires a reason explaining why iteration order cannot matter", Directive)
+			}
+			return true
+		}
+		if sink := findSink(pass, rng, enclosingFunc(stack)); sink != "" {
+			pass.Reportf(rng.Pos(), "iteration over map reaches ordering-sensitive sink (%s); iterate over sorted keys or annotate with %q",
+				sink, Directive+" <reason>")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the stack, or nil at package scope.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+type directiveKey struct {
+	file string
+	line int
+}
+
+// collectDirectives maps (file, line-governed-by-directive) to the
+// directive's reason. A directive on line L governs statements starting
+// on L (trailing comment) or L+1 (comment line above).
+func collectDirectives(pass *analysis.Pass) map[directiveKey]string {
+	out := make(map[directiveKey]string)
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Directive) {
+					continue
+				}
+				reason := strings.TrimPrefix(c.Text, Directive)
+				line := pass.Fset.Position(c.Pos()).Line
+				out[directiveKey{fname, line}] = reason
+				out[directiveKey{fname, line + 1}] = reason
+			}
+		}
+	}
+	return out
+}
+
+// orderSensitiveMethods are method names whose calls emit or accumulate
+// in call order regardless of receiver: stream writers and slice-like
+// container appends.
+var orderSensitiveMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Append":      true,
+}
+
+// orderSensitiveFuncs are package-level functions that emit output in
+// call order.
+var orderSensitiveFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+	"io": {
+		"WriteString": true, "Copy": true,
+	},
+}
+
+// findSink scans the loop body for the first construct through which map
+// iteration order can escape, returning a description or "".
+func findSink(pass *analysis.Pass, rng *ast.RangeStmt, fn ast.Node) string {
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if s := callSink(pass, rng, fn, n); s != "" {
+				sink = s
+				return false
+			}
+		case *ast.SendStmt:
+			sink = "channel send"
+			return false
+		case *ast.AssignStmt:
+			if s := assignSink(pass, rng, n); s != "" {
+				sink = s
+				return false
+			}
+		case *ast.RangeStmt:
+			// A nested ordered loop is fine to descend into; nested map
+			// ranges get their own diagnostic.
+		}
+		return true
+	})
+	return sink
+}
+
+// callSink classifies a call inside the loop body as ordering-sensitive.
+func callSink(pass *analysis.Pass, rng *ast.RangeStmt, fn ast.Node, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if isBuiltinAppend(pass, fun) && appendEscapes(pass, rng, fn, call) {
+			return "append to slice declared outside the loop"
+		}
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[fun.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return ""
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return ""
+		}
+		if sig.Recv() != nil {
+			if orderSensitiveMethods[fn.Name()] {
+				return "call to ordering-sensitive method " + fn.Name()
+			}
+			return ""
+		}
+		if fn.Pkg() != nil {
+			if names, ok := orderSensitiveFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
+				return "call to " + fn.Pkg().Path() + "." + fn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+func isBuiltinAppend(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendEscapes reports whether the append target outlives one iteration
+// with its insertion order intact: its first argument is not an
+// identifier declared inside the loop body, and the target is not handed
+// to a sort afterwards (the canonical collect-keys-then-sort fix).
+// Non-identifier targets (fields, index expressions) are conservatively
+// treated as escaping.
+func appendEscapes(pass *analysis.Pass, rng *ast.RangeStmt, fn ast.Node, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	if within(obj.Pos(), rng.Body) {
+		return false
+	}
+	return !sortedAfter(pass, fn, rng, obj)
+}
+
+// sortNames are the sort-package entry points that erase insertion order.
+var sortNames = map[string]bool{
+	"Ints": true, "Strings": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after the range loop within the same function, which makes the
+// collection order immaterial.
+func sortedAfter(pass *analysis.Pass, fn ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := typeutil.Callee(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch path := callee.Pkg().Path(); {
+		case path == "sort" && sortNames[callee.Name()]:
+		case path == "slices" && strings.HasPrefix(callee.Name(), "Sort"):
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// assignSink flags compound assignments to outer variables whose element
+// operation is non-commutative or non-associative: string concatenation
+// and floating-point accumulation.
+func assignSink(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return ""
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || within(obj.Pos(), rng.Body) {
+			continue
+		}
+		basic, ok := obj.Type().Underlying().(*types.Basic)
+		if !ok {
+			continue
+		}
+		switch {
+		case basic.Info()&types.IsString != 0:
+			return "string concatenation into outer variable " + id.Name
+		case basic.Info()&types.IsFloat != 0:
+			return "floating-point accumulation into outer variable " + id.Name + " (addition order changes the result)"
+		}
+	}
+	return ""
+}
+
+func within(pos token.Pos, node ast.Node) bool {
+	return node.Pos() <= pos && pos < node.End()
+}

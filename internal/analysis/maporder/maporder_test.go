@@ -1,0 +1,19 @@
+package maporder
+
+import (
+	"testing"
+
+	"ocd/internal/analysis/analyzertest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analyzertest.Run(t, "testdata", Analyzer, "a")
+}
+
+func TestDirectiveConstant(t *testing.T) {
+	// The directive string is documented in DESIGN.md and grep-able; a
+	// silent rename would orphan every annotation in the tree.
+	if Directive != "//ocd:orderinvariant" {
+		t.Fatalf("Directive = %q; annotations in the tree rely on //ocd:orderinvariant", Directive)
+	}
+}

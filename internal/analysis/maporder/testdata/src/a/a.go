@@ -1,0 +1,135 @@
+// Package a exercises the maporder analyzer: every ordering-sensitive
+// escape of map iteration order must be flagged, and the sanctioned
+// patterns (sorted keys, per-key writes, commutative integer
+// aggregation, justified directives) must stay silent.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendOutside(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `append to slice declared outside the loop`
+		out = append(out, v)
+	}
+	return out
+}
+
+func appendInsideIsFine(m map[int]string) int {
+	n := 0
+	for k := range m {
+		local := []int{}
+		local = append(local, k)
+		n += len(local)
+	}
+	return n
+}
+
+// sortedKeysIsFine is the canonical remediation: collect, sort, iterate.
+// The collect loop needs no directive because the keys are sorted before
+// use.
+func sortedKeysIsFine(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func printing(m map[string]int) {
+	for k, v := range m { // want `call to fmt\.Println`
+		fmt.Println(k, v)
+	}
+}
+
+func building(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `call to ordering-sensitive method WriteString`
+		sb.WriteString(k)
+	}
+}
+
+type moveList struct{ moves []int }
+
+func (l *moveList) Append(m int) { l.moves = append(l.moves, m) }
+
+func methodAppend(m map[int]bool, l *moveList) {
+	for k := range m { // want `call to ordering-sensitive method Append`
+		l.Append(k)
+	}
+}
+
+func channelSend(m map[int]bool, ch chan int) {
+	for k := range m { // want `channel send`
+		ch <- k
+	}
+}
+
+func stringConcat(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want `string concatenation into outer variable s`
+		s += v
+	}
+	return s
+}
+
+func floatSum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `floating-point accumulation into outer variable sum`
+		sum += v
+	}
+	return sum
+}
+
+func intSumIsFine(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func perKeyWriteIsFine(src map[int]int, dst map[int]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func directiveTrailing(m map[int]string, ch chan int) {
+	for k := range m { //ocd:orderinvariant receiver drains and re-sorts before use
+		ch <- k
+	}
+}
+
+func directiveNeedsReason(m map[int]string) []string {
+	var out []string
+	//ocd:orderinvariant
+	for _, v := range m { // want `directive requires a reason`
+		out = append(out, v)
+	}
+	return out
+}
+
+func rangeOverSliceIsFine(xs []int, out *[]int) {
+	for _, x := range xs {
+		*out = append(*out, x)
+	}
+}
+
+func nestedMapRange(outer map[int]map[int]string) []string {
+	var out []string
+	for i := 0; i < 3; i++ {
+		for _, inner := range outer { // want `append to slice declared outside the loop`
+			_ = inner
+			out = append(out, "x")
+		}
+	}
+	return out
+}

@@ -107,12 +107,12 @@ func TestGilbertElliottBursts(t *testing.T) {
 
 func TestCrashScheduleSemantics(t *testing.T) {
 	m := CrashSchedule{Events: []CrashEvent{
-		{V: 1, At: 2, RecoverAt: 5}, // crash-recovery
+		{V: 1, At: 2, RecoverAt: 5},  // crash-recovery
 		{V: 2, At: 3, RecoverAt: -1}, // crash-stop
 	}}
 	cases := []struct {
-		step, v     int
-		down, perm  bool
+		step, v    int
+		down, perm bool
 	}{
 		{0, 1, false, false},
 		{2, 1, true, false},

@@ -1,0 +1,77 @@
+package heuristics
+
+import (
+	"reflect"
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+// TestHeuristicsDeterministicOnTransitStub is the cross-heuristic half of
+// the determinism contract (the fault-plan replay tests cover the faulted
+// engine): every registered heuristic, run twice on the same seeded
+// transit-stub instance, must produce byte-identical schedules and
+// statistics. detrand and maporder enforce the property statically; this
+// test catches whatever slips past them (e.g. order-sensitive use of an
+// injected PRNG).
+func TestHeuristicsDeterministicOnTransitStub(t *testing.T) {
+	g, err := topology.TransitStubN(24, topology.CapRange{Min: 1, Max: 3}, 7)
+	if err != nil {
+		t.Fatalf("transit-stub topology: %v", err)
+	}
+	inst := workload.SingleFile(g, 12)
+
+	type namedFactory struct {
+		name    string
+		factory sim.Factory
+	}
+	factories := make([]namedFactory, 0, len(Names())+1)
+	for _, name := range Names() {
+		f, ok := Named(name)
+		if !ok {
+			t.Fatalf("Named(%q) not registered", name)
+		}
+		factories = append(factories, namedFactory{name, f})
+	}
+	// The §5.1 knowledge-delay relaxation keeps per-run history; include
+	// it so the stale-view path is covered too.
+	factories = append(factories, namedFactory{"local-delayed-3", LocalDelayed(3)})
+
+	for _, nf := range factories {
+		nf := nf
+		t.Run(nf.name, func(t *testing.T) {
+			const seed = 42
+			run := func() *sim.Result {
+				res, err := sim.Run(inst.Clone(), nf.factory, sim.Options{Seed: seed, IdlePatience: 4})
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return res
+			}
+			first, second := run(), run()
+			if !reflect.DeepEqual(first.Schedule, second.Schedule) {
+				t.Fatalf("heuristic %s is nondeterministic: two runs with seed %d diverge\nfirst:  %v\nsecond: %v",
+					nf.name, seed, first.Schedule, second.Schedule)
+			}
+			for _, check := range []struct {
+				what string
+				a, b int
+			}{
+				{"makespan", first.Steps, second.Steps},
+				{"moves", first.Moves, second.Moves},
+				{"rejected", first.Rejected, second.Rejected},
+			} {
+				if check.a != check.b {
+					t.Errorf("heuristic %s: %s differs across identical runs: %d vs %d",
+						nf.name, check.what, check.a, check.b)
+				}
+			}
+			if err := core.Validate(inst, first.Schedule); err != nil {
+				t.Errorf("heuristic %s: schedule fails validation: %v", nf.name, err)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"ocd/internal/core"
 	"ocd/internal/graph"
@@ -260,9 +261,17 @@ func (p *Program) withFixings(fixed map[int]int) *lp.Problem {
 		A: append([][]float64(nil), base.A...),
 		B: append([]float64(nil), base.B...),
 	}
-	for j, v := range fixed {
+	// Emit fixing rows in ascending variable order: the constraint-row
+	// order steers simplex pivoting, so map order here would make
+	// branch-and-bound results vary run to run.
+	vars := make([]int, 0, len(fixed))
+	for j := range fixed {
+		vars = append(vars, j)
+	}
+	sort.Ints(vars)
+	for _, j := range vars {
 		row := make([]float64, nv)
-		if v == 0 {
+		if fixed[j] == 0 {
 			row[j] = 1 // x_j ≤ 0
 			prob.A = append(prob.A, row)
 			prob.B = append(prob.B, 0)

@@ -103,17 +103,17 @@ func Approximate(g *graph.Graph, sources, terminals []int) (*Tree, error) {
 		}
 	}
 
-	tree := &Tree{}
+	arcs := make([]graph.Arc, 0, len(arcSet))
 	for arc := range arcSet {
-		tree.Arcs = append(tree.Arcs, graph.Arc{From: arc[0], To: arc[1], Cap: g.Cap(arc[0], arc[1])})
+		arcs = append(arcs, graph.Arc{From: arc[0], To: arc[1], Cap: g.Cap(arc[0], arc[1])})
 	}
-	sort.Slice(tree.Arcs, func(i, j int) bool {
-		if tree.Arcs[i].From != tree.Arcs[j].From {
-			return tree.Arcs[i].From < tree.Arcs[j].From
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
 		}
-		return tree.Arcs[i].To < tree.Arcs[j].To
+		return arcs[i].To < arcs[j].To
 	})
-	return tree, nil
+	return &Tree{Arcs: arcs}, nil
 }
 
 // multiSourceBFS returns distances and BFS predecessors from a merged
