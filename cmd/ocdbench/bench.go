@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"ocd"
+	"ocd/internal/experiments"
+	"ocd/internal/topology"
+)
+
+// benchReport is the BENCH_<rev>.json schema ("ocd-bench/v1"): a machine-
+// readable snapshot of the experiment grid's throughput and the per-step
+// cost of every heuristic, recorded per revision so regressions show up as
+// a diff against the committed file.
+type benchReport struct {
+	Schema     string      `json:"schema"`
+	Revision   string      `json:"revision"`
+	Scale      string      `json:"scale"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Grid       gridBench   `json:"grid"`
+	Heuristics []heurBench `json:"heuristics"`
+}
+
+// gridBench times the same (graph × heuristic × repeat) cell grid serially
+// and at full parallelism. ParallelMatchesSerial is the determinism check:
+// the two tables must be byte-identical.
+type gridBench struct {
+	Cells                 int     `json:"cells"`
+	SerialSeconds         float64 `json:"serial_seconds"`
+	ParallelSeconds       float64 `json:"parallel_seconds"`
+	CellsPerSec           float64 `json:"cells_per_sec"`
+	Speedup               float64 `json:"speedup_vs_serial"`
+	ParallelMatchesSerial bool    `json:"parallel_matches_serial"`
+}
+
+// heurBench is the per-timestep cost of one heuristic on the reference
+// single-file workload.
+type heurBench struct {
+	Name          string  `json:"name"`
+	Steps         int     `json:"steps"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+}
+
+const benchSchema = "ocd-bench/v1"
+
+// benchRevision resolves the revision stamped into the report: an explicit
+// -rev wins, then the VCS revision embedded by the Go toolchain, then "dev".
+func benchRevision(override string) string {
+	if override != "" {
+		return override
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	return "dev"
+}
+
+type benchParams struct {
+	sizes      []int
+	tokens     int
+	graphSeeds int
+	repeats    int
+	heurN      int
+	heurTokens int
+	heurRuns   int
+}
+
+func benchScale(quick bool) (string, benchParams) {
+	if quick {
+		return "quick", benchParams{
+			sizes: []int{30, 60}, tokens: 40, graphSeeds: 2, repeats: 2,
+			heurN: 60, heurTokens: 40, heurRuns: 3,
+		}
+	}
+	return "full", benchParams{
+		sizes: []int{50, 100}, tokens: 100, graphSeeds: 3, repeats: 3,
+		heurN: 100, heurTokens: 100, heurRuns: 5,
+	}
+}
+
+// benchGrid runs the Figure 2 sweep once serially and once at GOMAXPROCS
+// and checks the outputs are byte-identical — the runner's determinism
+// contract, measured rather than assumed.
+func benchGrid(p benchParams) (gridBench, error) {
+	cfg := experiments.SweepConfig{
+		Kind:       experiments.RandomGraph,
+		Tokens:     p.tokens,
+		Caps:       topology.DefaultCaps,
+		GraphSeeds: p.graphSeeds,
+		Repeats:    p.repeats,
+		BaseSeed:   1,
+	}
+	run := func(parallelism int) (string, float64, error) {
+		cfg.Parallelism = parallelism
+		start := time.Now()
+		t, err := experiments.GraphSize(cfg, p.sizes)
+		if err != nil {
+			return "", 0, err
+		}
+		return t.CSV(), time.Since(start).Seconds(), nil
+	}
+	serialCSV, serialSec, err := run(1)
+	if err != nil {
+		return gridBench{}, fmt.Errorf("serial grid: %w", err)
+	}
+	parallelCSV, parallelSec, err := run(0)
+	if err != nil {
+		return gridBench{}, fmt.Errorf("parallel grid: %w", err)
+	}
+	cells := len(p.sizes) * p.graphSeeds * len(ocd.Heuristics()) * p.repeats
+	return gridBench{
+		Cells:                 cells,
+		SerialSeconds:         serialSec,
+		ParallelSeconds:       parallelSec,
+		CellsPerSec:           float64(cells) / parallelSec,
+		Speedup:               serialSec / parallelSec,
+		ParallelMatchesSerial: serialCSV == parallelCSV,
+	}, nil
+}
+
+// benchHeuristic measures the per-timestep cost of one heuristic: wall
+// clock and heap allocations (runtime.MemStats mallocs delta) divided by
+// the total simulated steps across the runs.
+func benchHeuristic(name string, inst *ocd.Instance, runs int) (heurBench, error) {
+	// Warm-up run: pull one-time costs (lazy tables, first-touch growth)
+	// out of the measurement.
+	res, err := ocd.RunHeuristic(inst, name, ocd.RunOptions{Seed: 1, Prune: true})
+	if err != nil {
+		return heurBench{}, fmt.Errorf("%s warm-up: %w", name, err)
+	}
+	steps := res.Steps
+
+	var before, after runtime.MemStats
+	totalSteps := 0
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		res, err := ocd.RunHeuristic(inst, name, ocd.RunOptions{Seed: int64(i + 1), Prune: true})
+		if err != nil {
+			return heurBench{}, fmt.Errorf("%s run %d: %w", name, i, err)
+		}
+		totalSteps += res.Steps
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if totalSteps == 0 {
+		return heurBench{}, fmt.Errorf("%s: zero steps simulated", name)
+	}
+	return heurBench{
+		Name:          name,
+		Steps:         steps,
+		NsPerStep:     float64(elapsed.Nanoseconds()) / float64(totalSteps),
+		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(totalSteps),
+	}, nil
+}
+
+// validateBench re-parses the serialized report and rejects structurally
+// broken output, so a malformed BENCH file fails the producing run instead
+// of a later consumer.
+func validateBench(data []byte) error {
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench report is not valid JSON: %w", err)
+	}
+	switch {
+	case r.Schema != benchSchema:
+		return fmt.Errorf("bench report schema = %q, want %q", r.Schema, benchSchema)
+	case r.Revision == "":
+		return errors.New("bench report has no revision")
+	case r.Grid.Cells <= 0 || r.Grid.CellsPerSec <= 0 || r.Grid.Speedup <= 0:
+		return fmt.Errorf("bench report grid metrics not positive: %+v", r.Grid)
+	case !r.Grid.ParallelMatchesSerial:
+		return errors.New("bench report: parallel grid output diverged from serial")
+	case len(r.Heuristics) == 0:
+		return errors.New("bench report has no heuristic entries")
+	}
+	for _, h := range r.Heuristics {
+		if h.Name == "" || h.NsPerStep <= 0 || h.Steps <= 0 || h.AllocsPerStep < 0 {
+			return fmt.Errorf("bench report heuristic entry invalid: %+v", h)
+		}
+	}
+	return nil
+}
+
+// runBench produces BENCH_<rev>.json in outDir and prints a one-line
+// summary per section. The report is validated before it is written; an
+// invalid report is an error, not an artifact.
+func runBench(quick bool, rev, outDir string, stdout io.Writer) error {
+	scale, p := benchScale(quick)
+	report := benchReport{
+		Schema:     benchSchema,
+		Revision:   benchRevision(rev),
+		Scale:      scale,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	grid, err := benchGrid(p)
+	if err != nil {
+		return err
+	}
+	report.Grid = grid
+	fmt.Fprintf(stdout, "grid: %d cells, %.1f cells/sec, %.2fx vs serial, parallel==serial: %v\n",
+		grid.Cells, grid.CellsPerSec, grid.Speedup, grid.ParallelMatchesSerial)
+
+	g, err := ocd.RandomTopology(p.heurN, ocd.DefaultCaps, 1)
+	if err != nil {
+		return err
+	}
+	inst := ocd.SingleFile(g, p.heurTokens)
+	for _, name := range ocd.Heuristics() {
+		h, err := benchHeuristic(name, inst, p.heurRuns)
+		if err != nil {
+			return err
+		}
+		report.Heuristics = append(report.Heuristics, h)
+		fmt.Fprintf(stdout, "%s: %.0f ns/step, %.1f allocs/step (%d steps)\n",
+			h.Name, h.NsPerStep, h.AllocsPerStep, h.Steps)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := validateBench(data); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_"+report.Revision+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing bench report: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
+}

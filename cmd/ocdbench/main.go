@@ -118,6 +118,10 @@ func run(args []string, stdout io.Writer) error {
 		scale    = fs.String("scale", "full", "parameter scale: full | small")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed     = fs.Int64("seed", 1, "base random seed")
+		bench    = fs.Bool("bench", false, "measure grid throughput and per-step heuristic cost, write BENCH_<rev>.json")
+		quick    = fs.Bool("quick", false, "like -bench but at CI-smoke scale")
+		out      = fs.String("out", ".", "directory for the BENCH_<rev>.json report")
+		rev      = fs.String("rev", "", "revision stamp for the bench report (default: VCS revision)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +150,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	ran := false
+	if *bench || *quick {
+		ran = true
+		if err := runBench(*quick, *rev, *out, stdout); err != nil {
+			return err
+		}
+	}
 	runFig := func(n int) bool { return *all || *fig == n }
 
 	if runFig(1) {
@@ -259,7 +269,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if !ran {
 		fs.Usage()
-		return fmt.Errorf("nothing selected; pass -fig N, -thm4, -oracle, -ip, or -all")
+		return fmt.Errorf("nothing selected; pass -fig N, -thm4, -oracle, -ip, -bench, -quick, or -all")
 	}
 	return nil
 }

@@ -15,30 +15,20 @@ import "ocd/internal/tokenset"
 func Prune(inst *Instance, sched *Schedule) *Schedule {
 	// Pass 1: drop duplicate deliveries. A move is redundant if the
 	// destination already possesses the token at the moment of delivery
-	// (including an earlier kept move in the same timestep).
+	// (including an earlier kept move in the same timestep). Marking the
+	// possession as each move is kept makes the within-step duplicate check
+	// the same O(1) set probe as the cross-step one: pass 1 never reads
+	// cur[v] for anything except (destination, token) membership, so the
+	// early add is indistinguishable from the end-of-step add.
 	cur := inst.InitialPossession()
 	kept := make([]Step, len(sched.Steps))
 	for i, st := range sched.Steps {
-		var arrivals []Move
 		for _, mv := range st {
 			if cur[mv.To].Has(mv.Token) {
 				continue // duplicate delivery
 			}
-			dup := false
-			for _, a := range arrivals {
-				if a.To == mv.To && a.Token == mv.Token {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			arrivals = append(arrivals, mv)
-			kept[i] = append(kept[i], mv)
-		}
-		for _, mv := range kept[i] {
 			cur[mv.To].Add(mv.Token)
+			kept[i] = append(kept[i], mv)
 		}
 	}
 

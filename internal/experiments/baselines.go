@@ -6,6 +6,7 @@ import (
 	"ocd/internal/baselines"
 	"ocd/internal/core"
 	"ocd/internal/heuristics"
+	"ocd/internal/runner"
 	"ocd/internal/sim"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
@@ -41,12 +42,30 @@ func ArchitectureComparison(n, tokens int, seed int64) (*Table, error) {
 		{"global", heuristics.Global},
 		{"random", heuristics.Random},
 	}
-	for _, e := range entries {
-		res, err := sim.Run(inst, e.factory, sim.Options{Seed: seed, Prune: true})
-		if err != nil {
-			return nil, fmt.Errorf("architecture %s: %w", e.name, err)
+	type archCell struct {
+		steps, moves, pruned int
+	}
+	cells := make([]runner.Cell[archCell], len(entries))
+	for i, e := range entries {
+		e := e
+		cells[i] = runner.Cell[archCell]{
+			Key:     "arch/" + e.name,
+			SeedKey: "arch-workload",
+			Run: func(cellSeed int64) (archCell, error) {
+				res, err := sim.Run(inst, e.factory, sim.Options{Seed: cellSeed, Prune: true})
+				if err != nil {
+					return archCell{}, fmt.Errorf("architecture %s: %w", e.name, err)
+				}
+				return archCell{steps: res.Steps, moves: res.Moves, pruned: res.PrunedMoves}, nil
+			},
 		}
-		t.AddRow(e.name, res.Steps, res.Moves, res.PrunedMoves, res.Moves == bwLB)
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.AddRow(entries[i].name, res.steps, res.moves, res.pruned, res.moves == bwLB)
 	}
 	t.Notes = append(t.Notes,
 		"§2: spanning trees were the traditional topology, meshes came into favor for speed",

@@ -8,6 +8,7 @@ import (
 	"ocd/internal/exact"
 	"ocd/internal/flow"
 	"ocd/internal/heuristics"
+	"ocd/internal/runner"
 	"ocd/internal/sim"
 )
 
@@ -24,33 +25,73 @@ func BoundsQuality(instances, n, m int, seed int64) (*Table, error) {
 		Columns: []string{"instance", "heuristic", "moves/opt", "bw/opt",
 			"movesLB/opt", "flowLB/opt", "bwLB/opt"},
 	}
+	// The tiny instances are drawn serially from one RNG stream (each draw
+	// depends on the previous); the expensive exact solves and heuristic
+	// runs then fan out with one cell per instance.
 	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < instances; i++ {
-		inst := randomTinyInstance(rng, n, m)
-		fast, err := exact.SolveFOCD(inst, exact.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("instance %d focd: %w", i, err)
+	insts := make([]*core.Instance, instances)
+	for i := range insts {
+		insts[i] = randomTinyInstance(rng, n, m)
+	}
+	type heurOutcome struct {
+		steps, pruned int
+		failed        bool
+	}
+	type boundsCell struct {
+		optSteps, optBW, stepLB, flowLB, bwLB int
+		heur                                  []heurOutcome
+	}
+	cells := make([]runner.Cell[boundsCell], instances)
+	for i := range insts {
+		i := i
+		inst := insts[i]
+		cells[i] = runner.Cell[boundsCell]{
+			Key: fmt.Sprintf("inst%d", i),
+			Run: func(cellSeed int64) (boundsCell, error) {
+				fast, err := exact.SolveFOCD(inst, exact.Options{})
+				if err != nil {
+					return boundsCell{}, fmt.Errorf("instance %d focd: %w", i, err)
+				}
+				cheap, err := exact.SolveEOCD(inst, 0, exact.Options{})
+				if err != nil {
+					return boundsCell{}, fmt.Errorf("instance %d eocd: %w", i, err)
+				}
+				flowLB, err := flow.FlowMakespanLowerBound(inst)
+				if err != nil {
+					return boundsCell{}, fmt.Errorf("instance %d flow bound: %w", i, err)
+				}
+				cell := boundsCell{
+					optSteps: fast.Makespan(), optBW: cheap.Moves(),
+					stepLB: core.MakespanLowerBound(inst, nil),
+					flowLB: flowLB,
+					bwLB:   core.BandwidthLowerBound(inst, nil),
+					heur:   make([]heurOutcome, len(heuristics.All())),
+				}
+				for h, factory := range heuristics.All() {
+					res, err := sim.Run(inst, factory, sim.Options{Seed: cellSeed, Prune: true})
+					if err != nil || !res.Completed {
+						cell.heur[h] = heurOutcome{failed: true}
+						continue
+					}
+					cell.heur[h] = heurOutcome{steps: res.Steps, pruned: res.PrunedMoves}
+				}
+				return cell, nil
+			},
 		}
-		cheap, err := exact.SolveEOCD(inst, 0, exact.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("instance %d eocd: %w", i, err)
-		}
-		optSteps, optBW := fast.Makespan(), cheap.Moves()
-		stepLB := core.MakespanLowerBound(inst, nil)
-		flowLB, err := flow.FlowMakespanLowerBound(inst)
-		if err != nil {
-			return nil, fmt.Errorf("instance %d flow bound: %w", i, err)
-		}
-		bwLB := core.BandwidthLowerBound(inst, nil)
-		for h, factory := range heuristics.All() {
-			res, err := sim.Run(inst, factory, sim.Options{Seed: seed + int64(i), Prune: true})
-			if err != nil || !res.Completed {
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range results {
+		for h, out := range cell.heur {
+			if out.failed {
 				t.AddRow(i, heuristics.Names()[h], "-", "-", "-", "-", "-")
 				continue
 			}
 			t.AddRow(i, heuristics.Names()[h],
-				ratio(res.Steps, optSteps), ratio(res.PrunedMoves, optBW),
-				ratio(stepLB, optSteps), ratio(flowLB, optSteps), ratio(bwLB, optBW))
+				ratio(out.steps, cell.optSteps), ratio(out.pruned, cell.optBW),
+				ratio(cell.stepLB, cell.optSteps), ratio(cell.flowLB, cell.optSteps), ratio(cell.bwLB, cell.optBW))
 		}
 	}
 	t.Notes = append(t.Notes,

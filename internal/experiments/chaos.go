@@ -7,6 +7,7 @@ import (
 	"ocd/internal/fault"
 	"ocd/internal/heuristics"
 	"ocd/internal/protocol"
+	"ocd/internal/runner"
 	"ocd/internal/sim"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
@@ -36,6 +37,13 @@ func chaosFactory(name string, plan fault.Plan) (sim.Factory, error) {
 	}
 	return nil, fmt.Errorf("chaos: unknown heuristic %q (have %v, protocol-local, retry-<name>)",
 		name, heuristics.Names())
+}
+
+// chaosCell carries a faulted run's result through the runner; a stall is
+// row data ("stalled" outcome), not a cell failure.
+type chaosCell struct {
+	res *fault.Result
+	err error
 }
 
 // outcome folds a faulted run into one word for the table.
@@ -70,35 +78,84 @@ func Chaos(n, tokens int, intensities []float64, heuristicNames []string, seed i
 		Columns: []string{"intensity", "heuristic", "outcome", "delivered",
 			"moves", "lost", "retrans", "wasted", "crashes", "inflation"},
 	}
-	opts := sim.Options{Seed: seed, IdlePatience: 40}
-
-	// Fault-free baselines give the inflation denominator per heuristic.
-	baseline := make(map[string]int, len(heuristicNames))
+	// Validate every name up front so an unknown heuristic fails before any
+	// cell runs.
 	for _, name := range heuristicNames {
-		f, err := chaosFactory(name, fault.Plan{})
-		if err != nil {
+		if _, err := chaosFactory(name, fault.Plan{}); err != nil {
 			return nil, err
 		}
-		res, err := fault.Run(inst, f, fault.Plan{}, opts)
-		if err != nil || !res.Completed {
-			return nil, fmt.Errorf("chaos: fault-free baseline for %q did not complete (err=%v)", name, err)
-		}
-		baseline[name] = res.Steps
 	}
 
-	for _, x := range intensities {
-		plan := fault.AtIntensity(x, seed, 0) // vertex 0 is the source: protect it
+	// Every chaos cell shares one seed key: the original harness ran the
+	// whole table off a single seed, and the intensity-0 cells must replay
+	// the baseline run exactly for the inflation column to read 1.00.
+	const chaosSeedKey = "chaos-workload"
+
+	// Fault-free baselines give the inflation denominator per heuristic.
+	baseCells := make([]runner.Cell[int], len(heuristicNames))
+	for i, name := range heuristicNames {
+		name := name
+		baseCells[i] = runner.Cell[int]{
+			Key:     "baseline/" + name,
+			SeedKey: chaosSeedKey,
+			Run: func(cellSeed int64) (int, error) {
+				f, _ := chaosFactory(name, fault.Plan{}) // validated above
+				res, err := fault.Run(inst, f, fault.Plan{}, sim.Options{Seed: cellSeed, IdlePatience: 40})
+				if err != nil || !res.Completed {
+					return 0, fmt.Errorf("fault-free baseline did not complete (err=%v)", err)
+				}
+				return res.Steps, nil
+			},
+		}
+	}
+	baseSteps, err := runner.Map(seed, baseCells, runner.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	baseline := make(map[string]int, len(heuristicNames))
+	for i, name := range heuristicNames {
+		baseline[name] = baseSteps[i]
+	}
+
+	// Grid cells: plans hold stateful loss/crash models (each owns a PRNG
+	// advanced during the run), so every cell constructs its own plan inside
+	// Run rather than sharing one per intensity.
+	var cells []runner.Cell[chaosCell]
+	for xi, x := range intensities {
+		x := x
 		for _, name := range heuristicNames {
-			f, _ := chaosFactory(name, plan) // validated above
-			res, err := fault.Run(inst, f, plan, opts)
-			if res == nil {
-				return nil, fmt.Errorf("chaos: %s at intensity %.2f: %v", name, x, err)
-			}
+			name := name
+			cells = append(cells, runner.Cell[chaosCell]{
+				Key:     fmt.Sprintf("x%d=%.2f/%s", xi, x, name),
+				SeedKey: chaosSeedKey,
+				Run: func(cellSeed int64) (chaosCell, error) {
+					plan := fault.AtIntensity(x, cellSeed, 0) // vertex 0 is the source: protect it
+					f, _ := chaosFactory(name, plan)          // validated above
+					res, err := fault.Run(inst, f, plan, sim.Options{Seed: cellSeed, IdlePatience: 40})
+					if res == nil {
+						return chaosCell{}, fmt.Errorf("intensity %.2f: %v", x, err)
+					}
+					return chaosCell{res: res, err: err}, nil
+				},
+			})
+		}
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+
+	idx := 0
+	for _, x := range intensities {
+		for _, name := range heuristicNames {
+			cell := results[idx]
+			idx++
+			res := cell.res
 			inflation := "-"
 			if res.Completed && baseline[name] > 0 {
 				inflation = fmt.Sprintf("%.2f", float64(res.Steps)/float64(baseline[name]))
 			}
-			t.AddRow(fmt.Sprintf("%.2f", x), name, outcome(res, err),
+			t.AddRow(fmt.Sprintf("%.2f", x), name, outcome(res, cell.err),
 				fmt.Sprintf("%.0f%%", res.DeliveredFraction*100),
 				res.Moves, res.Lost, res.Retransmissions, res.WastedMoves,
 				res.Crashes, inflation)
@@ -123,23 +180,40 @@ func CrashedSource(n, tokens, crashAt int, seed int64) (*Table, error) {
 		return nil, err
 	}
 	inst := workload.SingleFile(g, tokens)
-	plan := fault.Plan{
-		Crashes: fault.CrashSchedule{Events: []fault.CrashEvent{
-			{V: 0, At: crashAt, RecoverAt: -1},
-		}},
-	}
 	t := &Table{
 		Title: fmt.Sprintf("crashed sole source: crash-stop at step %d (n=%d, %d tokens, horizon %d)",
 			crashAt, n, tokens, inst.TheoremOneHorizon()),
 		Columns: []string{"heuristic", "outcome", "steps", "delivered",
 			"unsatisfiable", "moves", "lost"},
 	}
-	for i, f := range heuristics.All() {
-		res, err := fault.Run(inst, f, plan, sim.Options{Seed: seed, IdlePatience: 40})
-		if res == nil {
-			return nil, fmt.Errorf("crashed source: %s: %v", heuristics.Names()[i], err)
+	factories := heuristics.All()
+	cells := make([]runner.Cell[chaosCell], len(factories))
+	for i, f := range factories {
+		f := f
+		cells[i] = runner.Cell[chaosCell]{
+			Key:     "crash/" + heuristics.Names()[i],
+			SeedKey: "crash-workload",
+			Run: func(cellSeed int64) (chaosCell, error) {
+				plan := fault.Plan{
+					Crashes: fault.CrashSchedule{Events: []fault.CrashEvent{
+						{V: 0, At: crashAt, RecoverAt: -1},
+					}},
+				}
+				res, err := fault.Run(inst, f, plan, sim.Options{Seed: cellSeed, IdlePatience: 40})
+				if res == nil {
+					return chaosCell{}, err
+				}
+				return chaosCell{res: res, err: err}, nil
+			},
 		}
-		t.AddRow(heuristics.Names()[i], outcome(res, err), res.Steps,
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("crashed source: %w", err)
+	}
+	for i := range factories {
+		res := results[i].res
+		t.AddRow(heuristics.Names()[i], outcome(res, results[i].err), res.Steps,
 			fmt.Sprintf("%.0f%%", res.DeliveredFraction*100),
 			len(res.Unsatisfiable), res.Moves, res.Lost)
 	}

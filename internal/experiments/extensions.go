@@ -8,6 +8,7 @@ import (
 	"ocd/internal/encoding"
 	"ocd/internal/exact"
 	"ocd/internal/heuristics"
+	"ocd/internal/runner"
 	"ocd/internal/sim"
 	"ocd/internal/topology"
 	"ocd/internal/underlay"
@@ -24,28 +25,64 @@ func DynamicConditions(n, tokens int, seed int64) (*Table, error) {
 		return nil, err
 	}
 	inst := workload.SingleFile(g, tokens)
-	models := []dynamic.Model{
-		dynamic.Static{},
-		dynamic.CrossTraffic{MaxShare: 0.7, Seed: seed},
-		dynamic.LinkFailure{P: 0.3, Seed: seed},
-		dynamic.Periodic{Period: 8, Floor: 0.2},
-		dynamic.Churn{P: 0.2, Seed: seed, AlwaysUp: []int{0}},
-		dynamic.NewAdversary(inst, g.NumArcs()/10),
+	// Models are built per cell: the possession-aware adversary mutates
+	// internal state while running, and giving every heuristic a freshly
+	// constructed model with the same seed keeps the comparison paired.
+	makeModels := []func(seed int64) dynamic.Model{
+		func(int64) dynamic.Model { return dynamic.Static{} },
+		func(s int64) dynamic.Model { return dynamic.CrossTraffic{MaxShare: 0.7, Seed: s} },
+		func(s int64) dynamic.Model { return dynamic.LinkFailure{P: 0.3, Seed: s} },
+		func(int64) dynamic.Model { return dynamic.Periodic{Period: 8, Floor: 0.2} },
+		func(s int64) dynamic.Model { return dynamic.Churn{P: 0.2, Seed: s, AlwaysUp: []int{0}} },
+		func(int64) dynamic.Model { return dynamic.NewAdversary(inst, g.NumArcs()/10) },
+	}
+	modelNames := make([]string, len(makeModels))
+	for i, mk := range makeModels {
+		modelNames[i] = mk(seed).Name() // names do not depend on the seed
 	}
 	t := &Table{
 		Title:   fmt.Sprintf("§6 changing network conditions (n=%d, %d tokens)", n, tokens),
 		Columns: []string{"model", "heuristic", "moves", "bandwidth", "completed"},
 	}
-	for _, model := range models {
+	type dynCell struct {
+		steps, moves int
+		completed    bool
+		failed       bool
+	}
+	var cells []runner.Cell[dynCell]
+	for mi := range makeModels {
+		mk := makeModels[mi]
 		for i, factory := range heuristics.All() {
-			res, err := dynamic.Run(inst, factory, model, sim.Options{
-				Seed: seed, IdlePatience: 30,
+			factory := factory
+			cells = append(cells, runner.Cell[dynCell]{
+				Key:     modelNames[mi] + "/" + heuristics.Names()[i],
+				SeedKey: "dyn-workload",
+				Run: func(cellSeed int64) (dynCell, error) {
+					res, err := dynamic.Run(inst, factory, mk(cellSeed), sim.Options{
+						Seed: cellSeed, IdlePatience: 30,
+					})
+					if err != nil {
+						return dynCell{failed: true}, nil
+					}
+					return dynCell{steps: res.Steps, moves: res.Moves, completed: res.Completed}, nil
+				},
 			})
-			if err != nil {
-				t.AddRow(model.Name(), heuristics.Names()[i], "-", "-", false)
+		}
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for mi := range makeModels {
+		for i := range heuristics.All() {
+			res := results[idx]
+			idx++
+			if res.failed {
+				t.AddRow(modelNames[mi], heuristics.Names()[i], "-", "-", false)
 				continue
 			}
-			t.AddRow(model.Name(), heuristics.Names()[i], res.Steps, res.Moves, res.Completed)
+			t.AddRow(modelNames[mi], heuristics.Names()[i], res.steps, res.moves, res.completed)
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -71,36 +108,60 @@ func LossCoding(n, tokens int, lossRate float64, redundancies []float64, seed in
 	// Round Robin is the knowledge-free sender for which coding matters:
 	// a lost specific token costs it a full cycle, while a coded receiver
 	// accepts any k-of-n arrivals.
-	base, err := sim.Run(inst, heuristics.RoundRobin, sim.Options{
-		Seed: seed, LossRate: lossRate, IdlePatience: 10,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("uncoded run: %w", err)
-	}
-	t.AddRow("uncoded", "1.00", base.Steps, base.Moves, base.Lost, base.Completed)
-
 	k := 8
 	if tokens < k {
 		k = tokens
 	}
+	type codedCell struct {
+		scheme, overhead   string
+		steps, moves, lost int
+		completed          bool
+	}
+	cells := []runner.Cell[codedCell]{{
+		Key:     "uncoded",
+		SeedKey: "loss-workload",
+		Run: func(cellSeed int64) (codedCell, error) {
+			base, err := sim.Run(inst, heuristics.RoundRobin, sim.Options{
+				Seed: cellSeed, LossRate: lossRate, IdlePatience: 10,
+			})
+			if err != nil {
+				return codedCell{}, fmt.Errorf("uncoded run: %w", err)
+			}
+			return codedCell{scheme: "uncoded", overhead: "1.00",
+				steps: base.Steps, moves: base.Moves, lost: base.Lost, completed: base.Completed}, nil
+		},
+	}}
 	for _, r := range redundancies {
 		nCoded := int(float64(k)*r + 0.5)
 		if nCoded < k {
 			nCoded = k
 		}
-		coded, err := encoding.Expand(inst, k, nCoded)
-		if err != nil {
-			return nil, err
-		}
-		res, err := coded.Run(heuristics.RoundRobin, sim.Options{
-			Seed: seed, LossRate: lossRate, IdlePatience: 10,
+		cells = append(cells, runner.Cell[codedCell]{
+			Key:     fmt.Sprintf("coded(%d/%d)@r%.2f", k, nCoded, r),
+			SeedKey: "loss-workload",
+			Run: func(cellSeed int64) (codedCell, error) {
+				coded, err := encoding.Expand(inst, k, nCoded)
+				if err != nil {
+					return codedCell{}, err
+				}
+				res, err := coded.Run(heuristics.RoundRobin, sim.Options{
+					Seed: cellSeed, LossRate: lossRate, IdlePatience: 10,
+				})
+				if err != nil {
+					return codedCell{}, fmt.Errorf("coded run r=%.2f: %w", r, err)
+				}
+				return codedCell{scheme: fmt.Sprintf("coded(%d/%d)", k, nCoded),
+					overhead: fmt.Sprintf("%.2f", coded.Overhead()),
+					steps:    res.Steps, moves: res.Moves, lost: res.Lost, completed: res.Completed}, nil
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("coded run r=%.2f: %w", r, err)
-		}
-		t.AddRow(fmt.Sprintf("coded(%d/%d)", k, nCoded),
-			fmt.Sprintf("%.2f", coded.Overhead()),
-			res.Steps, res.Moves, res.Lost, res.Completed)
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		t.AddRow(res.scheme, res.overhead, res.steps, res.moves, res.lost, res.completed)
 	}
 	t.Notes = append(t.Notes,
 		"§6: sub-token redundancy trades bandwidth overhead for loss resilience",
@@ -122,21 +183,47 @@ func UnderlayComparison(physN, hosts, tokens int, seed int64) (*Table, error) {
 			physN, hosts, net.SharingFactor()),
 		Columns: []string{"heuristic", "overlay-moves", "underlay-moves", "slowdown", "overlay-bw", "underlay-bw"},
 	}
-	for i, factory := range heuristics.All() {
-		logical, err := sim.Run(inst, factory, sim.Options{Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("logical %s: %w", heuristics.Names()[i], err)
+	// One cell per heuristic runs both the logical and the physical
+	// simulation so the slowdown ratio is computed from a single seed draw.
+	type underlayCell struct {
+		logicalSteps, physicalSteps int
+		logicalMoves, physicalMoves int
+	}
+	factories := heuristics.All()
+	cells := make([]runner.Cell[underlayCell], len(factories))
+	for i, factory := range factories {
+		factory := factory
+		name := heuristics.Names()[i]
+		cells[i] = runner.Cell[underlayCell]{
+			Key:     "underlay/" + name,
+			SeedKey: "underlay-workload",
+			Run: func(cellSeed int64) (underlayCell, error) {
+				logical, err := sim.Run(inst, factory, sim.Options{Seed: cellSeed})
+				if err != nil {
+					return underlayCell{}, fmt.Errorf("logical %s: %w", name, err)
+				}
+				physical, err := net.Run(inst, factory, sim.Options{Seed: cellSeed, IdlePatience: 20})
+				if err != nil {
+					return underlayCell{}, fmt.Errorf("physical %s: %w", name, err)
+				}
+				return underlayCell{
+					logicalSteps: logical.Steps, physicalSteps: physical.Steps,
+					logicalMoves: logical.Moves, physicalMoves: physical.Moves,
+				}, nil
+			},
 		}
-		physical, err := net.Run(inst, factory, sim.Options{Seed: seed, IdlePatience: 20})
-		if err != nil {
-			return nil, fmt.Errorf("physical %s: %w", heuristics.Names()[i], err)
-		}
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		slow := "-"
-		if logical.Steps > 0 {
-			slow = fmt.Sprintf("%.2f", float64(physical.Steps)/float64(logical.Steps))
+		if res.logicalSteps > 0 {
+			slow = fmt.Sprintf("%.2f", float64(res.physicalSteps)/float64(res.logicalSteps))
 		}
-		t.AddRow(heuristics.Names()[i], logical.Steps, physical.Steps, slow,
-			logical.Moves, physical.Moves)
+		t.AddRow(heuristics.Names()[i], res.logicalSteps, res.physicalSteps, slow,
+			res.logicalMoves, res.physicalMoves)
 	}
 	t.Notes = append(t.Notes,
 		"§6: logical links sharing physical links make overlay capacities dependent; the overlay-only model is optimistic")
@@ -155,14 +242,32 @@ func KnowledgeDelay(n, tokens, maxDelay int, seed int64) (*Table, error) {
 		Title:   fmt.Sprintf("§5.1 knowledge-delay ablation for the Local heuristic (n=%d)", n),
 		Columns: []string{"delay", "moves", "bandwidth", "pruned-bw"},
 	}
+	type delayCell struct {
+		steps, moves, pruned int
+	}
+	cells := make([]runner.Cell[delayCell], maxDelay+1)
 	for d := 0; d <= maxDelay; d++ {
-		res, err := sim.Run(inst, heuristics.LocalDelayed(d), sim.Options{
-			Seed: seed, Prune: true, IdlePatience: d + 1,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("delay %d: %w", d, err)
+		d := d
+		cells[d] = runner.Cell[delayCell]{
+			Key:     fmt.Sprintf("delay%d", d),
+			SeedKey: "delay-workload",
+			Run: func(cellSeed int64) (delayCell, error) {
+				res, err := sim.Run(inst, heuristics.LocalDelayed(d), sim.Options{
+					Seed: cellSeed, Prune: true, IdlePatience: d + 1,
+				})
+				if err != nil {
+					return delayCell{}, fmt.Errorf("delay %d: %w", d, err)
+				}
+				return delayCell{steps: res.Steps, moves: res.Moves, pruned: res.PrunedMoves}, nil
+			},
 		}
-		t.AddRow(d, res.Steps, res.Moves, res.PrunedMoves)
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for d, res := range results {
+		t.AddRow(d, res.steps, res.moves, res.pruned)
 	}
 	t.Notes = append(t.Notes,
 		"stale peer views cost duplicate deliveries (bandwidth) and extra turns; delay 0 is the paper's Local heuristic")
@@ -190,12 +295,29 @@ func TradeoffCurve(inst *core.Instance, opts exact.Options) (*Table, error) {
 	if last < fast.Makespan() {
 		last = fast.Makespan()
 	}
+	// The exact solver is deterministic (no PRNG), so the cells ignore their
+	// derived seeds; the runner still parallelizes the independent solves.
+	var cells []runner.Cell[int]
 	for tau := fast.Makespan(); tau <= last; tau++ {
-		sched, err := exact.SolveEOCD(inst, tau, opts)
-		if err != nil {
-			return nil, fmt.Errorf("tradeoff tau=%d: %w", tau, err)
-		}
-		t.AddRow(tau, sched.Moves(), tau == fast.Makespan(), tau == last)
+		tau := tau
+		cells = append(cells, runner.Cell[int]{
+			Key: fmt.Sprintf("tau%d", tau),
+			Run: func(int64) (int, error) {
+				sched, err := exact.SolveEOCD(inst, tau, opts)
+				if err != nil {
+					return 0, fmt.Errorf("tradeoff tau=%d: %w", tau, err)
+				}
+				return sched.Moves(), nil
+			},
+		})
+	}
+	moves, err := runner.Map(0, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, mv := range moves {
+		tau := fast.Makespan() + i
+		t.AddRow(tau, mv, tau == fast.Makespan(), tau == last)
 	}
 	t.Notes = append(t.Notes,
 		"the curve is non-increasing in tau; its endpoints are the Figure 1 poles")

@@ -6,6 +6,7 @@ import (
 	"ocd/internal/core"
 	"ocd/internal/graph"
 	"ocd/internal/heuristics"
+	"ocd/internal/runner"
 	"ocd/internal/sim"
 	"ocd/internal/stats"
 	"ocd/internal/topology"
@@ -47,6 +48,11 @@ type SweepConfig struct {
 	MaxSteps int
 	// BaseSeed decorrelates repeated invocations.
 	BaseSeed int64
+	// Parallelism is the worker count for fanning the (graph × heuristic ×
+	// repeat) cells across goroutines (0 = GOMAXPROCS, 1 = serial). The
+	// output is identical at every setting: each cell's seed is derived
+	// from its stable key, never from scheduling.
+	Parallelism int
 }
 
 // DefaultSweep mirrors the paper's settings: 200-token file, capacities
@@ -92,41 +98,87 @@ type point struct {
 	failures int
 }
 
+// cellResult is the outcome of one (graph, heuristic, repeat) cell.
+type cellResult struct {
+	steps  int
+	bw     int
+	pruned int
+	failed bool
+}
+
 // runPoint executes all repeats of every heuristic on the instances
 // produced by build (one per graph seed) and returns per-heuristic
-// aggregates plus the mean lower bounds.
+// aggregates plus the mean lower bounds. The instances are built serially
+// (they are shared read-only by every cell touching that graph seed); the
+// independent simulation cells then fan out through the runner. Each cell's
+// seed derives from its (graph seed, repeat) key, so every heuristic sees
+// the same draw at the same grid point — the paired-comparison structure of
+// the paper's figures — and the result table is identical at any
+// parallelism.
 func (c SweepConfig) runPoint(build func(seed int64) (*core.Instance, error)) (map[string]*point, stats.Summary, stats.Summary, error) {
 	names, fs, err := c.factories()
 	if err != nil {
 		return nil, stats.Summary{}, stats.Summary{}, err
 	}
-	points := make(map[string]*point, len(names))
-	for _, name := range names {
-		points[name] = &point{}
-	}
+	insts := make([]*core.Instance, c.GraphSeeds)
 	var stepLBs, bwLBs []int
 	for gs := 0; gs < c.GraphSeeds; gs++ {
 		inst, err := build(c.BaseSeed + int64(gs))
 		if err != nil {
 			return nil, stats.Summary{}, stats.Summary{}, err
 		}
+		insts[gs] = inst
 		stepLBs = append(stepLBs, core.MakespanLowerBound(inst, nil))
 		bwLBs = append(bwLBs, core.BandwidthLowerBound(inst, nil))
-		for i, f := range fs {
+	}
+
+	var cells []runner.Cell[cellResult]
+	for gs := 0; gs < c.GraphSeeds; gs++ {
+		inst := insts[gs]
+		for i := range fs {
+			f := fs[i]
+			for r := 0; r < c.Repeats; r++ {
+				cells = append(cells, runner.Cell[cellResult]{
+					Key:     fmt.Sprintf("gs%d/%s/r%d", gs, names[i], r),
+					SeedKey: fmt.Sprintf("gs%d/r%d", gs, r),
+					Run: func(seed int64) (cellResult, error) {
+						res, err := sim.Run(inst, f, sim.Options{
+							MaxSteps: c.MaxSteps,
+							Seed:     seed,
+							Prune:    true,
+						})
+						if err != nil || !res.Completed {
+							return cellResult{failed: true}, nil
+						}
+						return cellResult{steps: res.Steps, bw: res.Moves, pruned: res.PrunedMoves}, nil
+					},
+				})
+			}
+		}
+	}
+	results, err := runner.Map(c.BaseSeed, cells, runner.Options{Parallelism: c.Parallelism})
+	if err != nil {
+		return nil, stats.Summary{}, stats.Summary{}, err
+	}
+
+	points := make(map[string]*point, len(names))
+	for _, name := range names {
+		points[name] = &point{}
+	}
+	idx := 0
+	for gs := 0; gs < c.GraphSeeds; gs++ {
+		for i := range fs {
 			p := points[names[i]]
 			for r := 0; r < c.Repeats; r++ {
-				res, err := sim.Run(inst, f, sim.Options{
-					MaxSteps: c.MaxSteps,
-					Seed:     c.BaseSeed + int64(gs*1000+r),
-					Prune:    true,
-				})
-				if err != nil || !res.Completed {
+				res := results[idx]
+				idx++
+				if res.failed {
 					p.failures++
 					continue
 				}
-				p.steps = append(p.steps, res.Steps)
-				p.bw = append(p.bw, res.Moves)
-				p.pruned = append(p.pruned, res.PrunedMoves)
+				p.steps = append(p.steps, res.steps)
+				p.bw = append(p.bw, res.bw)
+				p.pruned = append(p.pruned, res.pruned)
 			}
 		}
 	}

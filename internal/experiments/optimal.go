@@ -8,6 +8,7 @@ import (
 	"ocd/internal/exact"
 	"ocd/internal/graph"
 	"ocd/internal/ilp"
+	"ocd/internal/runner"
 	"ocd/internal/workload"
 )
 
@@ -65,27 +66,50 @@ func ILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
 		Title:   "§3.4 cross-check: time-indexed ILP vs schedule branch-and-bound",
 		Columns: []string{"instance", "n", "tokens", "tau", "ilp-bw", "bnb-bw", "agree"},
 	}
+	// Instances are drawn serially from one RNG stream; the two exact
+	// solves per instance (deterministic, seed-free) fan out as cells.
 	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < instances; i++ {
-		inst := randomTinyInstance(rng, n, m)
-		fast, err := exact.SolveFOCD(inst, exact.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("instance %d focd: %w", i, err)
+	insts := make([]*core.Instance, instances)
+	for i := range insts {
+		insts[i] = randomTinyInstance(rng, n, m)
+	}
+	type crossCell struct {
+		n, tokens, tau, ilpBW, bnbBW int
+	}
+	cells := make([]runner.Cell[crossCell], instances)
+	for i := range insts {
+		i := i
+		inst := insts[i]
+		cells[i] = runner.Cell[crossCell]{
+			Key: fmt.Sprintf("inst%d", i),
+			Run: func(int64) (crossCell, error) {
+				fast, err := exact.SolveFOCD(inst, exact.Options{})
+				if err != nil {
+					return crossCell{}, fmt.Errorf("instance %d focd: %w", i, err)
+				}
+				tau := fast.Makespan() + 1 // give one slack step for cheaper plans
+				bnb, err := exact.SolveEOCD(inst, tau, exact.Options{})
+				if err != nil {
+					return crossCell{}, fmt.Errorf("instance %d eocd: %w", i, err)
+				}
+				prog, err := ilp.Build(inst, tau)
+				if err != nil {
+					return crossCell{}, err
+				}
+				_, obj, err := prog.Solve(ilp.Options{})
+				if err != nil {
+					return crossCell{}, fmt.Errorf("instance %d ilp: %w", i, err)
+				}
+				return crossCell{n: inst.N(), tokens: inst.NumTokens, tau: tau, ilpBW: obj, bnbBW: bnb.Moves()}, nil
+			},
 		}
-		tau := fast.Makespan() + 1 // give one slack step for cheaper plans
-		bnb, err := exact.SolveEOCD(inst, tau, exact.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("instance %d eocd: %w", i, err)
-		}
-		prog, err := ilp.Build(inst, tau)
-		if err != nil {
-			return nil, err
-		}
-		_, obj, err := prog.Solve(ilp.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("instance %d ilp: %w", i, err)
-		}
-		t.AddRow(i, inst.N(), inst.NumTokens, tau, obj, bnb.Moves(), obj == bnb.Moves())
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.AddRow(i, res.n, res.tokens, res.tau, res.ilpBW, res.bnbBW, res.ilpBW == res.bnbBW)
 	}
 	return t, nil
 }

@@ -6,6 +6,7 @@ import (
 	"ocd/internal/heuristics"
 	"ocd/internal/locd"
 	"ocd/internal/protocol"
+	"ocd/internal/runner"
 	"ocd/internal/sim"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
@@ -23,24 +24,50 @@ func ProtocolComparison(sizes []int, tokens int, seed int64) (*Table, error) {
 		Columns: []string{"n", "diameter", "ideal-moves", "protocol-moves", "extra",
 			"ideal-bw", "protocol-bw"},
 	}
-	for _, n := range sizes {
-		g, err := topology.Random(n, topology.DefaultCaps, seed)
-		if err != nil {
-			return nil, err
+	// Each cell owns one graph size end to end: it builds the graph, runs
+	// the idealized and the protocol variant on the same seed, and returns
+	// the whole row.
+	type protoCell struct {
+		diameter               int
+		idealSteps, protoSteps int
+		idealMoves, protoMoves int
+	}
+	cells := make([]runner.Cell[protoCell], len(sizes))
+	for i, n := range sizes {
+		n := n
+		cells[i] = runner.Cell[protoCell]{
+			Key: fmt.Sprintf("n%d", n),
+			Run: func(cellSeed int64) (protoCell, error) {
+				g, err := topology.Random(n, topology.DefaultCaps, cellSeed)
+				if err != nil {
+					return protoCell{}, err
+				}
+				inst := workload.SingleFile(g, tokens)
+				ideal, err := sim.Run(inst, heuristics.Local, sim.Options{Seed: cellSeed})
+				if err != nil {
+					return protoCell{}, fmt.Errorf("ideal n=%d: %w", n, err)
+				}
+				proto, err := sim.Run(inst, protocol.Local, sim.Options{
+					Seed: cellSeed, IdlePatience: locd.KnowledgeDiameter(g) + 2,
+				})
+				if err != nil {
+					return protoCell{}, fmt.Errorf("protocol n=%d: %w", n, err)
+				}
+				return protoCell{
+					diameter:   locd.KnowledgeDiameter(g),
+					idealSteps: ideal.Steps, protoSteps: proto.Steps,
+					idealMoves: ideal.Moves, protoMoves: proto.Moves,
+				}, nil
+			},
 		}
-		inst := workload.SingleFile(g, tokens)
-		ideal, err := sim.Run(inst, heuristics.Local, sim.Options{Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("ideal n=%d: %w", n, err)
-		}
-		proto, err := sim.Run(inst, protocol.Local, sim.Options{
-			Seed: seed, IdlePatience: locd.KnowledgeDiameter(g) + 2,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("protocol n=%d: %w", n, err)
-		}
-		t.AddRow(n, locd.KnowledgeDiameter(g), ideal.Steps, proto.Steps,
-			proto.Steps-ideal.Steps, ideal.Moves, proto.Moves)
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.AddRow(sizes[i], res.diameter, res.idealSteps, res.protoSteps,
+			res.protoSteps-res.idealSteps, res.idealMoves, res.protoMoves)
 	}
 	t.Notes = append(t.Notes,
 		"the protocol variant learns only via per-turn neighbor gossip; its first turn is necessarily idle",

@@ -5,6 +5,7 @@ import (
 
 	"ocd/internal/competitive"
 	"ocd/internal/heuristics"
+	"ocd/internal/runner"
 	"ocd/internal/sim"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
@@ -20,11 +21,27 @@ func Theorem4(pathLen int, decoySweep []int, capacity int) (*Table, error) {
 		Title:   "Theorem 4: unbounded competitive ratio on the adversarial family",
 		Columns: []string{"decoys", "path", "online-makespan", "offline-optimum", "ratio"},
 	}
-	for _, d := range decoySweep {
-		pt, err := competitive.WorstCaseRatio(pathLen, d+1, capacity)
-		if err != nil {
-			return nil, fmt.Errorf("theorem4 decoys=%d: %w", d, err)
+	// The adversarial construction is deterministic; the runner only
+	// parallelizes the independent decoy counts.
+	cells := make([]runner.Cell[competitive.RatioPoint], len(decoySweep))
+	for i, d := range decoySweep {
+		d := d
+		cells[i] = runner.Cell[competitive.RatioPoint]{
+			Key: fmt.Sprintf("decoys%d", d),
+			Run: func(int64) (competitive.RatioPoint, error) {
+				pt, err := competitive.WorstCaseRatio(pathLen, d+1, capacity)
+				if err != nil {
+					return competitive.RatioPoint{}, fmt.Errorf("theorem4 decoys=%d: %w", d, err)
+				}
+				return pt, nil
+			},
 		}
+	}
+	results, err := runner.Map(0, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range results {
 		t.AddRow(pt.Decoys, pt.PathLen, pt.Online, pt.Offline, fmt.Sprintf("%.2f", pt.Ratio))
 	}
 	t.Notes = append(t.Notes,
@@ -41,23 +58,39 @@ func OracleAdditive(sizes []int, tokens int, seed int64) (*Table, error) {
 		Title:   "§4.2: propagate-then-plan oracle is within an additive diameter",
 		Columns: []string{"n", "diameter", "oracle-makespan", "planned-makespan", "additive-gap", "within-diameter"},
 	}
-	for _, n := range sizes {
-		g, err := topology.Random(n, topology.DefaultCaps, seed)
-		if err != nil {
-			return nil, err
+	type oracleCell struct {
+		diameter, oracleSteps, plannedSteps int
+	}
+	cells := make([]runner.Cell[oracleCell], len(sizes))
+	for i, n := range sizes {
+		n := n
+		cells[i] = runner.Cell[oracleCell]{
+			Key: fmt.Sprintf("n%d", n),
+			Run: func(cellSeed int64) (oracleCell, error) {
+				g, err := topology.Random(n, topology.DefaultCaps, cellSeed)
+				if err != nil {
+					return oracleCell{}, err
+				}
+				inst := workload.SingleFile(g, tokens)
+				planned, err := sim.Run(inst, heuristics.Global, sim.Options{Seed: cellSeed})
+				if err != nil {
+					return oracleCell{}, fmt.Errorf("oracle additive n=%d planned: %w", n, err)
+				}
+				oracle, err := competitive.RunOracle(inst, heuristics.Global, cellSeed)
+				if err != nil {
+					return oracleCell{}, fmt.Errorf("oracle additive n=%d oracle: %w", n, err)
+				}
+				return oracleCell{diameter: g.Diameter(), oracleSteps: oracle.Steps, plannedSteps: planned.Steps}, nil
+			},
 		}
-		inst := workload.SingleFile(g, tokens)
-		planned, err := sim.Run(inst, heuristics.Global, sim.Options{Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("oracle additive n=%d planned: %w", n, err)
-		}
-		oracle, err := competitive.RunOracle(inst, heuristics.Global, seed)
-		if err != nil {
-			return nil, fmt.Errorf("oracle additive n=%d oracle: %w", n, err)
-		}
-		diam := g.Diameter()
-		gap := oracle.Steps - planned.Steps
-		t.AddRow(n, diam, oracle.Steps, planned.Steps, gap, gap <= diam)
+	}
+	results, err := runner.Map(seed, cells, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		gap := res.oracleSteps - res.plannedSteps
+		t.AddRow(sizes[i], res.diameter, res.oracleSteps, res.plannedSteps, gap, gap <= res.diameter)
 	}
 	return t, nil
 }

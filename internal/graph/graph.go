@@ -25,12 +25,21 @@ type Arc struct {
 // Graph is a simple directed graph with integer arc capacities.
 // Construct with New and AddArc; the accessor methods are read-only and
 // safe for concurrent use once construction is complete.
+//
+// Every distinct arc is assigned a dense arc ID in [0, NumArcs()) at
+// insertion time. The IDs let per-timestep engines keep arc-indexed state
+// (residual capacity, usage counters) in flat slices instead of maps — the
+// simulation hot path allocates nothing per arc lookup. IDs are stable for
+// the lifetime of the graph and deterministic for a deterministic
+// construction order.
 type Graph struct {
-	n    int
-	out  [][]Arc
-	in   [][]Arc
-	caps map[[2]int]int
-	arcs int
+	n        int
+	out      [][]Arc
+	in       [][]Arc
+	outID    [][]int32
+	inID     [][]int32
+	ids      map[[2]int]int32
+	capsByID []int
 }
 
 // ErrVertexRange indicates an arc endpoint outside [0, n).
@@ -42,10 +51,12 @@ func New(n int) *Graph {
 		n = 0
 	}
 	return &Graph{
-		n:    n,
-		out:  make([][]Arc, n),
-		in:   make([][]Arc, n),
-		caps: make(map[[2]int]int),
+		n:     n,
+		out:   make([][]Arc, n),
+		in:    make([][]Arc, n),
+		outID: make([][]int32, n),
+		inID:  make([][]int32, n),
+		ids:   make(map[[2]int]int32),
 	}
 }
 
@@ -63,15 +74,19 @@ func (g *Graph) AddArc(u, v, capacity int) error {
 		return fmt.Errorf("graph: capacity %d on (%d,%d) must be positive", capacity, u, v)
 	}
 	key := [2]int{u, v}
-	if old, ok := g.caps[key]; ok {
-		g.caps[key] = old + capacity
-		g.setListCap(u, v, old+capacity)
+	if id, ok := g.ids[key]; ok {
+		merged := g.capsByID[id] + capacity
+		g.capsByID[id] = merged
+		g.setListCap(u, v, merged)
 		return nil
 	}
-	g.caps[key] = capacity
+	id := int32(len(g.capsByID))
+	g.ids[key] = id
+	g.capsByID = append(g.capsByID, capacity)
 	g.out[u] = append(g.out[u], Arc{From: u, To: v, Cap: capacity})
 	g.in[v] = append(g.in[v], Arc{From: u, To: v, Cap: capacity})
-	g.arcs++
+	g.outID[u] = append(g.outID[u], id)
+	g.inID[v] = append(g.inID[v], id)
 	return nil
 }
 
@@ -102,16 +117,48 @@ func (g *Graph) setListCap(u, v, capacity int) {
 func (g *Graph) N() int { return g.n }
 
 // NumArcs returns the number of distinct directed arcs.
-func (g *Graph) NumArcs() int { return g.arcs }
+func (g *Graph) NumArcs() int { return len(g.capsByID) }
 
 // Cap returns the capacity of arc u→v, or 0 if the arc does not exist.
-func (g *Graph) Cap(u, v int) int { return g.caps[[2]int{u, v}] }
+func (g *Graph) Cap(u, v int) int {
+	id, ok := g.ids[[2]int{u, v}]
+	if !ok {
+		return 0
+	}
+	return g.capsByID[id]
+}
 
 // HasArc reports whether the arc u→v exists.
 func (g *Graph) HasArc(u, v int) bool {
-	_, ok := g.caps[[2]int{u, v}]
+	_, ok := g.ids[[2]int{u, v}]
 	return ok
 }
+
+// ArcID returns the dense arc ID of u→v in [0, NumArcs()), or -1 if the
+// arc does not exist. IDs are assigned in insertion order and never change.
+func (g *Graph) ArcID(u, v int) int {
+	id, ok := g.ids[[2]int{u, v}]
+	if !ok {
+		return -1
+	}
+	return int(id)
+}
+
+// CapByID returns the capacity of the arc with the given dense ID.
+func (g *Graph) CapByID(id int) int { return g.capsByID[id] }
+
+// CapsByID returns the capacities of all arcs indexed by arc ID. The
+// returned slice is the graph's own storage: callers must copy it (e.g.
+// into a per-timestep residual buffer) and must not modify it.
+func (g *Graph) CapsByID() []int { return g.capsByID }
+
+// OutArcIDs returns the dense arc IDs of u's outgoing arcs, parallel to
+// Out(u). The returned slice must not be modified.
+func (g *Graph) OutArcIDs(u int) []int32 { return g.outID[u] }
+
+// InArcIDs returns the dense arc IDs of v's incoming arcs, parallel to
+// In(v). The returned slice must not be modified.
+func (g *Graph) InArcIDs(v int) []int32 { return g.inID[v] }
 
 // Out returns the outgoing arcs of u. The returned slice must not be
 // modified.
@@ -148,7 +195,7 @@ func (g *Graph) OutCapacity(u int) int {
 // Arcs returns all arcs sorted by (From, To). The slice is freshly
 // allocated.
 func (g *Graph) Arcs() []Arc {
-	arcs := make([]Arc, 0, g.arcs)
+	arcs := make([]Arc, 0, len(g.capsByID))
 	for u := 0; u < g.n; u++ {
 		arcs = append(arcs, g.out[u]...)
 	}

@@ -1,0 +1,76 @@
+package heuristics
+
+import (
+	"testing"
+
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+// allocCeilings are regression guards for the scratch-buffer architecture:
+// whole-run allocation counts for each heuristic on the reference workload,
+// set ~50% above the measured values so ordinary noise passes but a
+// reintroduced per-step allocation (a map rebuilt per Plan, a sort closure,
+// a fresh token buffer per vertex) trips the guard. Raising a ceiling is a
+// deliberate act — it should accompany a change that knowingly adds
+// allocation, not silence a regression.
+var allocCeilings = map[string]float64{
+	"roundrobin": 700,
+	"random":     550,
+	"local":      550,
+	"bandwidth":  600,
+	"global":     800,
+}
+
+// BenchmarkHeuristicRun is the per-heuristic microbenchmark backing the
+// ceilings above: -benchmem reports allocs/op for the same fixed workload.
+func BenchmarkHeuristicRun(b *testing.B) {
+	g, err := topology.Random(60, topology.DefaultCaps, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 40)
+	for i, factory := range All() {
+		factory := factory
+		b.Run(Names()[i], func(b *testing.B) {
+			b.ReportAllocs()
+			for j := 0; j < b.N; j++ {
+				if _, err := sim.Run(inst, factory, sim.Options{Seed: 1, Prune: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestAllocationCeilings runs every heuristic end to end on a fixed
+// instance and fails if its total allocations exceed the recorded ceiling.
+func TestAllocationCeilings(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	g, err := topology.Random(60, topology.DefaultCaps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 40)
+	for i, factory := range All() {
+		name := Names()[i]
+		ceiling, ok := allocCeilings[name]
+		if !ok {
+			t.Errorf("%s: no allocation ceiling recorded; add one", name)
+			continue
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := sim.Run(inst, factory, sim.Options{Seed: 1, Prune: true}); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+		t.Logf("%s: %.0f allocs/run (ceiling %.0f)", name, allocs, ceiling)
+		if allocs > ceiling {
+			t.Errorf("%s allocated %.0f times per run, ceiling %.0f — a per-step allocation crept back in",
+				name, allocs, ceiling)
+		}
+	}
+}

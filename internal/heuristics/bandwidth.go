@@ -24,11 +24,25 @@ import (
 // 1000-vertex sweeps.
 var Bandwidth sim.Factory = newBandwidth
 
+// bandwidthRequest is a (destination, token) pair the planner decided is
+// useful to obtain this turn.
+type bandwidthRequest struct{ v, t int }
+
 type bandwidthStrategy struct {
 	// Scratch buffers reused across turns.
+	rem   residual
 	dist  []int
 	label []int
 	queue []int
+	// needers/oneHop/requests/moves are per-turn work lists; seen is a
+	// generation-stamped visited array (one generation per token per turn)
+	// replacing the old per-turn map keyed by (target, token).
+	needers  []int
+	oneHop   []int
+	requests []bandwidthRequest
+	moves    []core.Move
+	seen     []uint32
+	seenGen  uint32
 }
 
 func newBandwidth(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
@@ -37,6 +51,7 @@ func newBandwidth(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
 		dist:  make([]int, n),
 		label: make([]int, n),
 		queue: make([]int, 0, n),
+		seen:  make([]uint32, n),
 	}, nil
 }
 
@@ -45,38 +60,35 @@ func (b *bandwidthStrategy) Name() string { return "bandwidth" }
 func (b *bandwidthStrategy) Plan(st *sim.State) []core.Move {
 	inst := st.Inst
 	n := inst.N()
-	rem := newResidual(inst)
-	var moves []core.Move
-
-	type request struct{ v, t int }
-	var requests []request
-	seen := make(map[[2]int]bool)
+	b.rem.reset(inst.G)
+	b.moves = b.moves[:0]
+	b.requests = b.requests[:0]
 
 	for t := 0; t < inst.NumTokens; t++ {
 		// Needers: vertices that want t and lack it.
-		var needers []int
+		b.needers = b.needers[:0]
 		for v := 0; v < n; v++ {
 			if inst.Want[v].Has(t) && !st.Possess[v].Has(t) {
-				needers = append(needers, v)
+				b.needers = append(b.needers, v)
 			}
 		}
-		if len(needers) == 0 {
+		if len(b.needers) == 0 {
 			continue
 		}
 		// One-hop-knowledge vertices for t.
-		var oneHop []int
+		b.oneHop = b.oneHop[:0]
 		for v := 0; v < n; v++ {
 			if st.Possess[v].Has(t) {
 				continue
 			}
 			for _, a := range inst.G.In(v) {
 				if st.Possess[a.From].Has(t) {
-					oneHop = append(oneHop, v)
+					b.oneHop = append(b.oneHop, v)
 					break
 				}
 			}
 		}
-		if len(oneHop) == 0 {
+		if len(b.oneHop) == 0 {
 			continue
 		}
 		// Labeled multi-source BFS: label[d] = the one-hop vertex that
@@ -87,7 +99,7 @@ func (b *bandwidthStrategy) Plan(st *sim.State) []core.Move {
 			b.label[v] = -1
 		}
 		b.queue = b.queue[:0]
-		for _, v := range oneHop {
+		for _, v := range b.oneHop {
 			b.dist[v] = 0
 			b.label[v] = v
 			b.queue = append(b.queue, v)
@@ -102,15 +114,21 @@ func (b *bandwidthStrategy) Plan(st *sim.State) []core.Move {
 				}
 			}
 		}
-		for _, d := range needers {
+		// Dedupe targets within this token's needer pass: bump the
+		// generation instead of clearing (or allocating) a visited set.
+		b.seenGen++
+		if b.seenGen == 0 { // generation counter wrapped: reset stamps
+			clear(b.seen)
+			b.seenGen = 1
+		}
+		for _, d := range b.needers {
 			target := b.label[d] // d itself if one-hop (dist 0), else its closest one-hop vertex
 			if target == -1 {
 				continue // no one-hop vertex reaches this needer yet
 			}
-			key := [2]int{target, t}
-			if !seen[key] {
-				seen[key] = true
-				requests = append(requests, request{v: target, t: t})
+			if b.seen[target] != b.seenGen {
+				b.seen[target] = b.seenGen
+				b.requests = append(b.requests, bandwidthRequest{v: target, t: t})
 			}
 		}
 	}
@@ -118,21 +136,24 @@ func (b *bandwidthStrategy) Plan(st *sim.State) []core.Move {
 	// Assign each (vertex, token) request to a holder in-neighbor with
 	// residual capacity, preferring the neighbor with the most spare
 	// capacity so rare slots are saved for constrained arcs.
-	for _, rq := range requests {
+	for _, rq := range b.requests {
+		in := inst.G.In(rq.v)
+		inIDs := inst.G.InArcIDs(rq.v)
 		best, bestLeft := -1, 0
-		for _, a := range inst.G.In(rq.v) {
+		var bestID int32
+		for i, a := range in {
 			if !st.Possess[a.From].Has(rq.t) {
 				continue
 			}
-			if l := rem.left(a.From, rq.v); l > bestLeft {
-				best, bestLeft = a.From, l
+			if l := b.rem.leftID(inIDs[i]); l > bestLeft {
+				best, bestLeft, bestID = a.From, l, inIDs[i]
 			}
 		}
 		if best == -1 {
 			continue
 		}
-		rem.take(best, rq.v)
-		moves = append(moves, core.Move{From: best, To: rq.v, Token: rq.t})
+		b.rem.takeID(bestID)
+		b.moves = append(b.moves, core.Move{From: best, To: rq.v, Token: rq.t})
 	}
-	return moves
+	return b.moves
 }

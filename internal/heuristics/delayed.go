@@ -29,6 +29,18 @@ func LocalDelayed(delay int) sim.Factory {
 type localDelayed struct {
 	delay   int
 	history [][]tokenset.Set
+
+	// Per-turn scratch; the snapshots in history must stay fresh
+	// allocations (they are the strategy's memory), but the planning
+	// buffers are reused.
+	rem    residual
+	sorter raritySorter
+	counts []int
+	perm   []int
+	wanted tokenset.Set
+	other  tokenset.Set
+	tokens []int
+	moves  []core.Move
 }
 
 func (l *localDelayed) Name() string {
@@ -51,48 +63,60 @@ func (l *localDelayed) Plan(st *sim.State) []core.Move {
 	}
 	view := l.history[idx]
 
-	counts := make([]int, st.Inst.NumTokens)
+	// Rarity comes from the stale view, not the engine's live counts — a
+	// delayed peer cannot know about deliveries it has not heard of yet.
+	if l.counts == nil {
+		l.counts = make([]int, st.Inst.NumTokens)
+	}
+	clear(l.counts)
 	for v := range view {
 		view[v].ForEach(func(t int) bool {
-			counts[t]++
+			l.counts[t]++
 			return true
 		})
 	}
+	if l.wanted.Universe() != st.Inst.NumTokens {
+		l.wanted = tokenset.New(st.Inst.NumTokens)
+		l.other = tokenset.New(st.Inst.NumTokens)
+	}
 
-	rem := newResidual(st.Inst)
-	var moves []core.Move
-	for _, v := range st.Rand.Perm(st.Inst.N()) {
+	l.rem.reset(st.Inst.G)
+	l.moves = l.moves[:0]
+	l.perm = permInto(l.perm, st.Rand, st.Inst.N())
+	for _, v := range l.perm {
 		in := st.Inst.G.In(v)
 		if len(in) == 0 {
 			continue
 		}
+		inIDs := st.Inst.G.InArcIDs(v)
 		// Own state is always current; peer states come from the view.
-		wanted := st.Missing(v)
-		other := st.Lacking(v)
-		other.DifferenceWith(wanted)
-		for _, class := range []([]int){
-			tokensByRarity(wanted, counts, st.Rand),
-			tokensByRarity(other, counts, st.Rand),
-		} {
+		st.MissingInto(v, l.wanted)
+		st.LackingInto(v, l.other)
+		l.other.DifferenceWith(l.wanted)
+		l.tokens = appendTokensByRarity(&l.sorter, l.tokens[:0], l.wanted, l.counts, st.Inst.N(), st.Rand)
+		wantedEnd := len(l.tokens)
+		l.tokens = appendTokensByRarity(&l.sorter, l.tokens, l.other, l.counts, st.Inst.N(), st.Rand)
+		for _, class := range [][]int{l.tokens[:wantedEnd], l.tokens[wantedEnd:]} {
 			for _, t := range class {
 				best := -1
+				var bestID int32
 				seen := 0
-				for _, a := range in {
-					if !view[a.From].Has(t) || rem.left(a.From, v) <= 0 {
+				for i, a := range in {
+					if !view[a.From].Has(t) || l.rem.leftID(inIDs[i]) <= 0 {
 						continue
 					}
 					seen++
 					if st.Rand.Intn(seen) == 0 {
-						best = a.From
+						best, bestID = a.From, inIDs[i]
 					}
 				}
 				if best == -1 {
 					continue
 				}
-				rem.take(best, v)
-				moves = append(moves, core.Move{From: best, To: v, Token: t})
+				l.rem.takeID(bestID)
+				l.moves = append(l.moves, core.Move{From: best, To: v, Token: t})
 			}
 		}
 	}
-	return moves
+	return l.moves
 }

@@ -22,98 +22,124 @@ import (
 // claimed before diversity-only tokens.
 var Global sim.Factory = newGlobal
 
-type globalStrategy struct{}
-
-func newGlobal(_ *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
-	return globalStrategy{}, nil
+// globalStrategy owns the per-run scratch: the per-destination claim sets
+// and the per-token in-flight counters are cleared and refilled at the top
+// of every Plan call instead of being reallocated.
+type globalStrategy struct {
+	rem        residual
+	inFlight   []int
+	scheduled  []tokenset.Set
+	wantedLeft []tokenset.Set
+	lackLeft   []tokenset.Set
+	obtainable tokenset.Set
+	pickable   tokenset.Set
+	perm       []int
+	moves      []core.Move
 }
 
-func (globalStrategy) Name() string { return "global" }
+func newGlobal(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	n := inst.N()
+	g := &globalStrategy{
+		inFlight:   make([]int, inst.NumTokens),
+		scheduled:  make([]tokenset.Set, n),
+		wantedLeft: make([]tokenset.Set, n),
+		lackLeft:   make([]tokenset.Set, n),
+		obtainable: tokenset.New(inst.NumTokens),
+		pickable:   tokenset.New(inst.NumTokens),
+	}
+	for v := 0; v < n; v++ {
+		g.scheduled[v] = tokenset.New(inst.NumTokens)
+		g.wantedLeft[v] = tokenset.New(inst.NumTokens)
+		g.lackLeft[v] = tokenset.New(inst.NumTokens)
+	}
+	return g, nil
+}
 
-func (globalStrategy) Plan(st *sim.State) []core.Move {
+func (g *globalStrategy) Name() string { return "global" }
+
+func (g *globalStrategy) Plan(st *sim.State) []core.Move {
 	inst := st.Inst
 	n := inst.N()
-	counts := haveCounts(st)
-	rem := newResidual(inst)
-	inFlight := make([]int, inst.NumTokens)
-	var moves []core.Move
+	counts := st.HaveCounts()
+	g.rem.reset(inst.G)
+	clear(g.inFlight)
+	g.moves = g.moves[:0]
 
 	// scheduled[v] tracks tokens already planned for delivery to v this
 	// turn; missing/lacking shrink as rounds assign tokens.
-	scheduled := make([]tokenset.Set, n)
-	wantedLeft := make([]tokenset.Set, n)
-	lackLeft := make([]tokenset.Set, n)
 	for v := 0; v < n; v++ {
-		scheduled[v] = tokenset.New(inst.NumTokens)
-		wantedLeft[v] = st.Missing(v)
-		lackLeft[v] = st.Lacking(v)
-		lackLeft[v].DifferenceWith(wantedLeft[v])
+		g.scheduled[v].Clear()
+		st.MissingInto(v, g.wantedLeft[v])
+		st.LackingInto(v, g.lackLeft[v])
+		g.lackLeft[v].DifferenceWith(g.wantedLeft[v])
 	}
 
-	order := st.Rand.Perm(n)
-	obtainable := tokenset.New(inst.NumTokens)
+	g.perm = permInto(g.perm, st.Rand, n)
 	for {
 		assigned := false
-		for _, v := range order {
+		for _, v := range g.perm {
 			// Tokens v could still pull this round: union of the
 			// possession of in-neighbors with residual capacity.
-			obtainable.Clear()
+			g.obtainable.Clear()
 			anyCap := false
-			for _, a := range inst.G.In(v) {
-				if rem.left(a.From, v) > 0 {
-					obtainable.UnionWith(st.Possess[a.From])
+			in := inst.G.In(v)
+			inIDs := inst.G.InArcIDs(v)
+			for i, a := range in {
+				if g.rem.leftID(inIDs[i]) > 0 {
+					g.obtainable.UnionWith(st.Possess[a.From])
 					anyCap = true
 				}
 			}
 			if !anyCap {
 				continue
 			}
-			obtainable.DifferenceWith(st.Possess[v])
-			obtainable.DifferenceWith(scheduled[v])
-			t := pickDiverse(obtainable, wantedLeft[v], lackLeft[v], counts, inFlight, n, st.Rand)
+			g.obtainable.DifferenceWith(st.Possess[v])
+			g.obtainable.DifferenceWith(g.scheduled[v])
+			t := pickDiverse(g.pickable, g.obtainable, g.wantedLeft[v], g.lackLeft[v], counts, g.inFlight, n, st.Rand)
 			if t == -1 {
 				continue
 			}
 			// Claim t from the holder neighbor with the most spare capacity.
 			best, bestLeft := -1, 0
-			for _, a := range inst.G.In(v) {
+			var bestID int32
+			for i, a := range in {
 				if !st.Possess[a.From].Has(t) {
 					continue
 				}
-				if l := rem.left(a.From, v); l > bestLeft {
-					best, bestLeft = a.From, l
+				if l := g.rem.leftID(inIDs[i]); l > bestLeft {
+					best, bestLeft, bestID = a.From, l, inIDs[i]
 				}
 			}
 			if best == -1 {
 				continue
 			}
-			rem.take(best, v)
-			scheduled[v].Add(t)
-			wantedLeft[v].Remove(t)
-			lackLeft[v].Remove(t)
-			inFlight[t]++
-			moves = append(moves, core.Move{From: best, To: v, Token: t})
+			g.rem.takeID(bestID)
+			g.scheduled[v].Add(t)
+			g.wantedLeft[v].Remove(t)
+			g.lackLeft[v].Remove(t)
+			g.inFlight[t]++
+			g.moves = append(g.moves, core.Move{From: best, To: v, Token: t})
 			assigned = true
 		}
 		if !assigned {
 			break
 		}
 	}
-	return moves
+	return g.moves
 }
 
 // pickDiverse selects the next token for a destination: among wanted tokens
 // if any are obtainable, otherwise among diversity tokens; within the class
 // it minimizes counts[t] + n·inFlight[t], so a token already scheduled this
 // turn is treated as more common than any unscheduled one. Returns -1 when
-// nothing is obtainable.
-func pickDiverse(obtainable, wanted, lack tokenset.Set, counts, inFlight []int, n int, rng *rand.Rand) int {
+// nothing is obtainable. scratch is overwritten with class ∩ obtainable so
+// the scoring loop only visits pickable tokens instead of probing
+// obtainable.Has per class member.
+func pickDiverse(scratch, obtainable, wanted, lack tokenset.Set, counts, inFlight []int, n int, rng *rand.Rand) int {
 	for _, class := range []tokenset.Set{wanted, lack} {
+		scratch.SetIntersection(class, obtainable)
 		best, bestScore, seen := -1, 0, 0
-		class.ForEach(func(t int) bool {
-			if !obtainable.Has(t) {
-				return true
-			}
+		scratch.ForEach(func(t int) bool {
 			score := counts[t] + n*inFlight[t]
 			switch {
 			case best == -1 || score < bestScore:

@@ -21,9 +21,10 @@ package heuristics
 import (
 	"math/rand"
 
-	"ocd/internal/core"
-	"ocd/internal/sim"
+	"ocd/internal/graph"
 	"ocd/internal/tokenset"
+
+	"ocd/internal/sim"
 )
 
 // Named returns the factory registered under name, if any.
@@ -55,63 +56,133 @@ func All() []sim.Factory {
 	return []sim.Factory{RoundRobin, Random, Local, Bandwidth, Global}
 }
 
-// haveCounts returns, for every token, the number of vertices currently
-// possessing it — the rarity signal of the rarest-random family.
-func haveCounts(st *sim.State) []int {
-	counts := make([]int, st.Inst.NumTokens)
-	for v := range st.Possess {
-		st.Possess[v].ForEach(func(t int) bool {
-			counts[t]++
-			return true
-		})
-	}
-	return counts
+// residual tracks per-arc remaining capacity within a single timestep as a
+// dense slice indexed by the graph's arc IDs. Each strategy owns one as a
+// scratch buffer and resets it at the top of every Plan call from the
+// step's effective graph — the fault/dynamic engines rebuild the graph
+// between steps, so arc IDs are only stable within a single Plan.
+type residual struct {
+	g   *graph.Graph
+	rem []int
 }
 
-// residual tracks per-arc remaining capacity within a single timestep.
-type residual map[[2]int]int
-
-func newResidual(inst *core.Instance) residual {
-	r := make(residual, inst.G.NumArcs())
-	for _, a := range inst.G.Arcs() {
-		r[[2]int{a.From, a.To}] = a.Cap
+// reset points the residual at g and restores every arc to full capacity.
+func (r *residual) reset(g *graph.Graph) {
+	r.g = g
+	caps := g.CapsByID()
+	if cap(r.rem) < len(caps) {
+		r.rem = make([]int, len(caps))
 	}
-	return r
+	r.rem = r.rem[:len(caps)]
+	copy(r.rem, caps)
 }
 
-func (r residual) take(u, v int) bool {
-	key := [2]int{u, v}
-	if r[key] <= 0 {
+// takeID consumes one unit of the arc with the given dense ID.
+func (r *residual) takeID(id int32) { r.rem[id]-- }
+
+// leftID returns the remaining capacity of the arc with the given dense ID.
+func (r *residual) leftID(id int32) int { return r.rem[id] }
+
+// take consumes one unit of arc u→v if any capacity remains.
+func (r *residual) take(u, v int) bool {
+	id := r.g.ArcID(u, v)
+	if id < 0 || r.rem[id] <= 0 {
 		return false
 	}
-	r[key]--
+	r.rem[id]--
 	return true
 }
 
-func (r residual) left(u, v int) int { return r[[2]int{u, v}] }
-
-// tokensByRarity returns the tokens of set ordered by ascending have-count
-// (rarest first), shuffling ties with rng so repeated runs diversify.
-func tokensByRarity(set tokenset.Set, counts []int, rng *rand.Rand) []int {
-	tokens := set.Slice()
-	rng.Shuffle(len(tokens), func(i, j int) {
-		tokens[i], tokens[j] = tokens[j], tokens[i]
-	})
-	// Stable-ish insertion by rarity after the shuffle: simple sort by count.
-	sortByCount(tokens, counts)
-	return tokens
+// left returns the remaining capacity of arc u→v (0 if absent).
+func (r *residual) left(u, v int) int {
+	id := r.g.ArcID(u, v)
+	if id < 0 {
+		return 0
+	}
+	return r.rem[id]
 }
 
-// sortByCount sorts token IDs ascending by counts[t] (insertion sort keeps
-// the shuffled order among equals).
-func sortByCount(tokens []int, counts []int) {
-	for i := 1; i < len(tokens); i++ {
-		t := tokens[i]
-		j := i - 1
-		for j >= 0 && counts[tokens[j]] > counts[t] {
-			tokens[j+1] = tokens[j]
-			j--
+// raritySorter holds the reusable scratch for the stable sort-by-count on
+// the per-vertex hot path: a counting-sort bucket array (have-counts are
+// bounded by the vertex count) and a staging buffer. One lives in each
+// rarest-random strategy so sorting allocates nothing in steady state.
+type raritySorter struct {
+	bucket []int
+	tmp    []int
+}
+
+// sortByCount stably sorts tokens ascending by counts[t]. Counts are vertex
+// tallies, so they lie in [0, maxCount]; a two-pass counting sort is O(k +
+// maxCount) and — being stable — preserves the pre-shuffled order among
+// equal-rarity tokens exactly as the old insertion sort (and a
+// sort.SliceStable) would. Small inputs fall back to a stable insertion
+// sort to skip the bucket reset.
+func (r *raritySorter) sortByCount(tokens []int, counts []int, maxCount int) {
+	if len(tokens) < 16 {
+		for i := 1; i < len(tokens); i++ {
+			t := tokens[i]
+			j := i - 1
+			for j >= 0 && counts[tokens[j]] > counts[t] {
+				tokens[j+1] = tokens[j]
+				j--
+			}
+			tokens[j+1] = t
 		}
-		tokens[j+1] = t
+		return
 	}
+	if cap(r.bucket) < maxCount+2 {
+		r.bucket = make([]int, maxCount+2)
+	}
+	bucket := r.bucket[:maxCount+2]
+	clear(bucket)
+	for _, t := range tokens {
+		bucket[counts[t]+1]++
+	}
+	for c := 1; c < len(bucket); c++ {
+		bucket[c] += bucket[c-1]
+	}
+	if cap(r.tmp) < len(tokens) {
+		r.tmp = make([]int, len(tokens))
+	}
+	tmp := r.tmp[:len(tokens)]
+	for _, t := range tokens {
+		tmp[bucket[counts[t]]] = t
+		bucket[counts[t]]++
+	}
+	copy(tokens, tmp)
+}
+
+// appendTokensByRarity appends the tokens of set to buf ordered by ascending
+// have-count (rarest first), and returns the extended buffer. The tokens
+// are Fisher-Yates shuffled with rng before a single stable sort keyed by
+// count — stability preserves the shuffled order among equal-rarity tokens,
+// which is the tie-diversification the §5.1 rarest-random family relies on
+// (replacing the old shuffle + O(k²) insertion sort over the full set).
+func appendTokensByRarity(sorter *raritySorter, buf []int, set tokenset.Set, counts []int, maxCount int, rng *rand.Rand) []int {
+	start := len(buf)
+	buf = set.AppendTo(buf)
+	tokens := buf[start:]
+	for i := len(tokens) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		tokens[i], tokens[j] = tokens[j], tokens[i]
+	}
+	sorter.sortByCount(tokens, counts, maxCount)
+	return buf
+}
+
+// permInto writes a random permutation of [0, n) into buf, growing it as
+// needed, and returns it. It replicates math/rand.Perm's algorithm exactly
+// so it consumes the identical rand stream while avoiding the per-call
+// allocation.
+func permInto(buf []int, rng *rand.Rand, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf
 }

@@ -5,6 +5,7 @@ import (
 
 	"ocd/internal/core"
 	"ocd/internal/sim"
+	"ocd/internal/tokenset"
 )
 
 // Local builds the §5.1 "rarest random" heuristic. At the start of every
@@ -18,59 +19,78 @@ import (
 // distributed).
 var Local sim.Factory = newLocal
 
-type localStrategy struct{}
-
-func newLocal(_ *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
-	return localStrategy{}, nil
+// localStrategy owns the per-run scratch buffers; everything below is
+// overwritten at the top of each Plan call, so a run's steady state plans a
+// whole timestep without heap allocation (beyond the returned moves growing
+// once to their high-water mark).
+type localStrategy struct {
+	rem    residual
+	sorter raritySorter
+	perm   []int
+	wanted tokenset.Set
+	other  tokenset.Set
+	tokens []int
+	moves  []core.Move
 }
 
-func (localStrategy) Name() string { return "local" }
+func newLocal(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	return &localStrategy{
+		wanted: tokenset.New(inst.NumTokens),
+		other:  tokenset.New(inst.NumTokens),
+	}, nil
+}
 
-func (localStrategy) Plan(st *sim.State) []core.Move {
-	counts := haveCounts(st)
-	rem := newResidual(st.Inst)
-	var moves []core.Move
-	order := st.Rand.Perm(st.Inst.N())
-	for _, v := range order {
-		moves = appendRequests(st, counts, rem, v, moves)
+func (l *localStrategy) Name() string { return "local" }
+
+func (l *localStrategy) Plan(st *sim.State) []core.Move {
+	counts := st.HaveCounts()
+	l.rem.reset(st.Inst.G)
+	l.moves = l.moves[:0]
+	l.perm = permInto(l.perm, st.Rand, st.Inst.N())
+	for _, v := range l.perm {
+		l.appendRequests(st, counts, v)
 	}
-	return moves
+	return l.moves
 }
 
 // appendRequests assigns vertex v's missing tokens to in-neighbor holders
 // with residual capacity, wanted tokens first, rarest first within each
-// class, and returns the extended move list.
-func appendRequests(st *sim.State, counts []int, rem residual, v int, moves []core.Move) []core.Move {
+// class.
+func (l *localStrategy) appendRequests(st *sim.State, counts []int, v int) {
 	in := st.Inst.G.In(v)
 	if len(in) == 0 {
-		return moves
+		return
 	}
-	wanted := st.Missing(v)
-	other := st.Lacking(v)
-	other.DifferenceWith(wanted)
-	for _, class := range []([]int){
-		tokensByRarity(wanted, counts, st.Rand),
-		tokensByRarity(other, counts, st.Rand),
-	} {
+	inIDs := st.Inst.G.InArcIDs(v)
+	st.MissingInto(v, l.wanted)
+	st.LackingInto(v, l.other)
+	l.other.DifferenceWith(l.wanted)
+	// Both classes are shuffled before any holder is drawn, matching the
+	// rand-stream order of the original two-slice formulation.
+	n := st.Inst.N()
+	l.tokens = appendTokensByRarity(&l.sorter, l.tokens[:0], l.wanted, counts, n, st.Rand)
+	wantedEnd := len(l.tokens)
+	l.tokens = appendTokensByRarity(&l.sorter, l.tokens, l.other, counts, n, st.Rand)
+	for _, class := range [][]int{l.tokens[:wantedEnd], l.tokens[wantedEnd:]} {
 		for _, t := range class {
 			// Pick a random holder among in-neighbors with spare capacity.
 			best := -1
+			var bestID int32
 			seen := 0
-			for _, a := range in {
-				if !st.Possess[a.From].Has(t) || rem.left(a.From, v) <= 0 {
+			for i, a := range in {
+				if !st.Possess[a.From].Has(t) || l.rem.leftID(inIDs[i]) <= 0 {
 					continue
 				}
 				seen++
 				if st.Rand.Intn(seen) == 0 {
-					best = a.From
+					best, bestID = a.From, inIDs[i]
 				}
 			}
 			if best == -1 {
 				continue
 			}
-			rem.take(best, v)
-			moves = append(moves, core.Move{From: best, To: v, Token: t})
+			l.rem.takeID(bestID)
+			l.moves = append(l.moves, core.Move{From: best, To: v, Token: t})
 		}
 	}
-	return moves
 }

@@ -73,6 +73,15 @@ func TestQuickEveryHeuristicSoundOnRandomWorkloads(t *testing.T) {
 	}
 }
 
+// delayedHorizon is the step budget for the stale-knowledge variant: every
+// productive step of the current-knowledge argument behind Theorem 1 can be
+// deferred by up to `delay` turns of staleness, so the m·(n−1) horizon is
+// stretched by that factor. The default horizon is too tight when m·(n−1)
+// is tiny (e.g. one token on four vertices with delay 3).
+func delayedHorizon(inst *core.Instance, delay int) int {
+	return (delay+1)*inst.TheoremOneHorizon() + delay
+}
+
 // TestQuickDelayedLocalSound extends the invariant to the stale-knowledge
 // variant (with the idle patience its bootstrap needs).
 func TestQuickDelayedLocalSound(t *testing.T) {
@@ -81,6 +90,7 @@ func TestQuickDelayedLocalSound(t *testing.T) {
 		inst := spec.build()
 		res, err := sim.Run(inst, LocalDelayed(d), sim.Options{
 			Seed: spec.Seed, IdlePatience: d + 1,
+			MaxSteps: delayedHorizon(inst, d),
 		})
 		if err != nil || !res.Completed {
 			return false
@@ -89,5 +99,28 @@ func TestQuickDelayedLocalSound(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDelayedLocalTightHorizon pins a workload where the default Theorem 1
+// horizon (m·(n−1) = 3 steps) is structurally too short for delay-3
+// knowledge: a two-hop relay cannot even observe the intermediate holder
+// until step 4. The stretched horizon must suffice.
+func TestDelayedLocalTightHorizon(t *testing.T) {
+	spec := workloadSpec{Seed: 1008803149138198884, N: 0x87, Tokens: 0xc0, Wanters: 0x25}
+	const d = 3
+	inst := spec.build()
+	res, err := sim.Run(inst, LocalDelayed(d), sim.Options{
+		Seed: spec.Seed, IdlePatience: d + 1,
+		MaxSteps: delayedHorizon(inst, d),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("not completed in %d steps", res.Steps)
+	}
+	if verr := core.Validate(inst, res.Schedule); verr != nil {
+		t.Fatal(verr)
 	}
 }

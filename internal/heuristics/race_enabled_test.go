@@ -1,0 +1,7 @@
+//go:build race
+
+package heuristics
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// guards skip under it because instrumentation changes allocation counts.
+const raceEnabled = true

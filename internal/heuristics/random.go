@@ -5,6 +5,7 @@ import (
 
 	"ocd/internal/core"
 	"ocd/internal/sim"
+	"ocd/internal/tokenset"
 )
 
 // Random builds the basic random heuristic: each vertex knows, at the start
@@ -15,36 +16,43 @@ import (
 // same destination in the same turn.
 var Random sim.Factory = newRandom
 
-type randomStrategy struct{}
-
-func newRandom(_ *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
-	return randomStrategy{}, nil
+// randomStrategy reuses one candidate set and one token buffer for every
+// arc it plans, instead of materializing a fresh difference set per arc.
+type randomStrategy struct {
+	cand  tokenset.Set
+	buf   []int
+	moves []core.Move
 }
 
-func (randomStrategy) Name() string { return "random" }
+func newRandom(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
+	return &randomStrategy{cand: tokenset.New(inst.NumTokens)}, nil
+}
 
-func (randomStrategy) Plan(st *sim.State) []core.Move {
-	var moves []core.Move
+func (r *randomStrategy) Name() string { return "random" }
+
+func (r *randomStrategy) Plan(st *sim.State) []core.Move {
+	r.moves = r.moves[:0]
 	for u := 0; u < st.Inst.N(); u++ {
 		if st.Possess[u].Empty() {
 			continue
 		}
 		for _, a := range st.Inst.G.Out(u) {
-			candidates := st.Possess[u].Difference(st.Possess[a.To]).Slice()
-			if len(candidates) == 0 {
+			r.cand.SetDifference(st.Possess[u], st.Possess[a.To])
+			r.buf = r.cand.AppendTo(r.buf[:0])
+			if len(r.buf) == 0 {
 				continue
 			}
-			st.Rand.Shuffle(len(candidates), func(i, j int) {
-				candidates[i], candidates[j] = candidates[j], candidates[i]
+			st.Rand.Shuffle(len(r.buf), func(i, j int) {
+				r.buf[i], r.buf[j] = r.buf[j], r.buf[i]
 			})
 			k := a.Cap
-			if k > len(candidates) {
-				k = len(candidates)
+			if k > len(r.buf) {
+				k = len(r.buf)
 			}
-			for _, t := range candidates[:k] {
-				moves = append(moves, core.Move{From: u, To: a.To, Token: t})
+			for _, t := range r.buf[:k] {
+				r.moves = append(r.moves, core.Move{From: u, To: a.To, Token: t})
 			}
 		}
 	}
-	return moves
+	return r.moves
 }

@@ -15,8 +15,12 @@ import (
 var RoundRobin sim.Factory = newRoundRobin
 
 type roundRobin struct {
-	// cursor holds, per arc, the token ID after the last one sent.
+	// cursor holds, per arc, the token ID after the last one sent. It is
+	// keyed by endpoints rather than arc ID because it persists across
+	// timesteps, and the fault/dynamic engines rebuild the effective graph
+	// (with fresh arc IDs) every step.
 	cursor map[[2]int]int
+	moves  []core.Move
 }
 
 func newRoundRobin(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {
@@ -27,7 +31,7 @@ func (r *roundRobin) Name() string { return "roundrobin" }
 
 func (r *roundRobin) Plan(st *sim.State) []core.Move {
 	m := st.Inst.NumTokens
-	var moves []core.Move
+	moves := r.moves[:0]
 	for u := 0; u < st.Inst.N(); u++ {
 		have := st.Possess[u]
 		if have.Empty() {
@@ -49,5 +53,6 @@ func (r *roundRobin) Plan(st *sim.State) []core.Move {
 			}
 		}
 	}
+	r.moves = moves
 	return moves
 }

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// randomWalk is a deliberately PRNG-heavy cell body: any leakage of worker
+// identity or completion order into the seed shows up as a different sum.
+func randomWalk(seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var sum int64
+	for i := 0; i < 1000; i++ {
+		sum += rng.Int63n(1 << 30)
+	}
+	return sum, nil
+}
+
+func walkCells(n int) []Cell[int64] {
+	cells := make([]Cell[int64], n)
+	for i := range cells {
+		cells[i] = Cell[int64]{Key: fmt.Sprintf("cell/%03d", i), Run: randomWalk}
+	}
+	return cells
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	cells := walkCells(64)
+	serial, err := Map(42, cells, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8, runtime.GOMAXPROCS(0)} {
+		parallel, err := Map(42, walkCells(64), Options{Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("parallelism %d diverged from serial", p)
+		}
+	}
+}
+
+func TestSeedDerivation(t *testing.T) {
+	if Seed(1, "a") == Seed(1, "b") {
+		t.Error("distinct keys collided")
+	}
+	if Seed(1, "a") == Seed(2, "a") {
+		t.Error("distinct bases collided")
+	}
+	if Seed(7, "gs0/r1") != Seed(7, "gs0/r1") {
+		t.Error("seed derivation not pure")
+	}
+}
+
+// TestSeedKeyPairsCells checks the paired-comparison contract: cells with
+// the same SeedKey receive identical seeds even though their Keys differ.
+func TestSeedKeyPairsCells(t *testing.T) {
+	seeds := make([]int64, 2)
+	cells := []Cell[int64]{
+		{Key: "gs0/local/r1", SeedKey: "gs0/r1", Run: func(s int64) (int64, error) { seeds[0] = s; return 0, nil }},
+		{Key: "gs0/global/r1", SeedKey: "gs0/r1", Run: func(s int64) (int64, error) { seeds[1] = s; return 0, nil }},
+	}
+	if _, err := Map(3, cells, Options{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != seeds[1] {
+		t.Errorf("paired cells got different seeds: %d vs %d", seeds[0], seeds[1])
+	}
+}
+
+// TestFirstErrorByCanonicalIndex checks that the reported failure is the
+// lowest-indexed failing cell regardless of scheduling.
+func TestFirstErrorByCanonicalIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for trial := 0; trial < 20; trial++ {
+		cells := walkCells(32)
+		cells[19].Run = func(int64) (int64, error) { return 0, errB }
+		cells[5].Run = func(int64) (int64, error) { return 0, errA }
+		_, err := Map(1, cells, Options{Parallelism: 8})
+		if !errors.Is(err, errA) {
+			t.Fatalf("trial %d: want lowest-indexed error %v, got %v", trial, errA, err)
+		}
+	}
+}
+
+func TestDuplicateKeysRejected(t *testing.T) {
+	cells := walkCells(4)
+	cells[3].Key = cells[0].Key
+	if _, err := Map(1, cells, Options{}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	if res, err := Map[int64](1, nil, Options{}); err != nil || len(res) != 0 {
+		t.Errorf("empty cell list: res=%v err=%v", res, err)
+	}
+	// Parallelism 0 → GOMAXPROCS; must still match serial.
+	serial, _ := Map(9, walkCells(10), Options{Parallelism: 1})
+	auto, err := Map(9, walkCells(10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, auto) {
+		t.Error("default parallelism diverged from serial")
+	}
+}

@@ -29,12 +29,17 @@ import (
 type State struct {
 	Inst *core.Instance
 	// Possess is the current possession p_i(v) per vertex. Strategies must
-	// not mutate these sets.
+	// not mutate these sets. Engines that mutate them directly (instead of
+	// through Deliver) must call InvalidateCounts afterwards.
 	Possess []tokenset.Set
 	// Step is the index of the timestep being planned (0-based).
 	Step int
 	// Rand is the per-run PRNG for randomized strategies.
 	Rand *rand.Rand
+
+	// counts caches the per-token holder counts |{v : t ∈ p(v)}|, computed
+	// lazily by HaveCounts and maintained incrementally by Deliver.
+	counts []int
 }
 
 // Missing returns w(v) \ p(v) for vertex v as a fresh set.
@@ -48,6 +53,53 @@ func (s *State) Lacking(v int) tokenset.Set {
 	full.DifferenceWith(s.Possess[v])
 	return full
 }
+
+// MissingInto overwrites dst with w(v) \ p(v) without allocating. dst must
+// have universe NumTokens.
+func (s *State) MissingInto(v int, dst tokenset.Set) {
+	dst.SetDifference(s.Inst.Want[v], s.Possess[v])
+}
+
+// LackingInto overwrites dst with T \ p(v) without allocating. dst must
+// have universe NumTokens.
+func (s *State) LackingInto(v int, dst tokenset.Set) {
+	dst.Fill()
+	dst.DifferenceWith(s.Possess[v])
+}
+
+// HaveCounts returns, for each token t, the number of vertices currently
+// possessing t (the rarity signal shared by the rarest-first heuristics).
+// The first call computes the counts in O(n·T/64); afterwards Deliver keeps
+// them current in O(1) per delivery, so per-step strategies no longer pay
+// the full recount. The returned slice is the state's own cache: read-only.
+func (s *State) HaveCounts() []int {
+	if s.counts == nil {
+		s.counts = make([]int, s.Inst.NumTokens)
+		for _, p := range s.Possess {
+			p.ForEach(func(t int) bool {
+				s.counts[t]++
+				return true
+			})
+		}
+	}
+	return s.counts
+}
+
+// Deliver records the delivery of mv: the destination gains the token and
+// the cached have-counts are updated incrementally. Engines must route all
+// possession growth through this method (or call InvalidateCounts after
+// mutating Possess directly).
+func (s *State) Deliver(mv core.Move) {
+	if s.counts != nil && !s.Possess[mv.To].Has(mv.Token) {
+		s.counts[mv.Token]++
+	}
+	s.Possess[mv.To].Add(mv.Token)
+}
+
+// InvalidateCounts drops the cached have-counts; the next HaveCounts call
+// recomputes them. Needed after wholesale possession edits such as the
+// fault engine's state-loss events.
+func (s *State) InvalidateCounts() { s.counts = nil }
 
 // Strategy plans the moves of one timestep. Implementations may keep
 // per-run state (e.g. Round Robin's per-arc cursor); a fresh Strategy is
@@ -156,7 +208,12 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 		Rand:    rng,
 	}
 	res := &Result{Strategy: strat.Name(), Schedule: &core.Schedule{}}
-	used := make(map[[2]int]int)
+	// Per-timestep arc usage lives in a dense slice indexed by the graph's
+	// arc IDs and is wiped with clear() — no per-step map churn. accepted
+	// is a scratch buffer reused across steps; the schedule only ever
+	// retains the exact-size delivered slices.
+	used := make([]int, inst.G.NumArcs())
+	var accepted core.Step
 	idle := 0
 	done := opts.Done
 	if done == nil {
@@ -169,16 +226,15 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 		}
 		st.Step = step
 		proposed := strat.Plan(st)
-		for k := range used {
-			delete(used, k)
-		}
-		var accepted core.Step
+		clear(used)
+		accepted = accepted[:0]
 		for _, mv := range proposed {
-			if !admissible(st, used, mv) {
+			id, ok := admissible(st, used, mv)
+			if !ok {
 				res.Rejected++
 				continue
 			}
-			used[[2]int{mv.From, mv.To}]++
+			used[id]++
 			accepted = append(accepted, mv)
 		}
 		if len(accepted) == 0 {
@@ -186,7 +242,7 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 			if idle > opts.IdlePatience {
 				return res, fmt.Errorf("%w: step %d, strategy %s", ErrStalled, step, strat.Name())
 			}
-			res.Schedule.Append(accepted)
+			res.Schedule.Append(nil)
 			continue
 		}
 		idle = 0
@@ -195,7 +251,7 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 		// schedule stays valid under the lossless formal model. Loss draws
 		// come from their own stream so the strategy's randomness is
 		// unchanged by the loss setting.
-		var delivered core.Step
+		delivered := make(core.Step, 0, len(accepted))
 		for _, mv := range accepted {
 			if opts.LossRate > 0 && lossRng.Float64() < opts.LossRate {
 				res.Lost++
@@ -204,7 +260,7 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 			delivered = append(delivered, mv)
 		}
 		for _, mv := range delivered {
-			st.Possess[mv.To].Add(mv.Token)
+			st.Deliver(mv)
 		}
 		res.Schedule.Append(delivered)
 	}
@@ -219,17 +275,21 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 }
 
 // admissible checks a single proposed move against the model constraints
-// given the arc usage so far this timestep.
-func admissible(st *State, used map[[2]int]int, mv core.Move) bool {
+// given the arc usage so far this timestep (a dense slice indexed by arc
+// ID). On success it returns the move's arc ID for the caller to charge.
+func admissible(st *State, used []int, mv core.Move) (int, bool) {
 	if mv.Token < 0 || mv.Token >= st.Inst.NumTokens {
-		return false
+		return -1, false
 	}
-	capacity := st.Inst.G.Cap(mv.From, mv.To)
-	if capacity == 0 {
-		return false
+	id := st.Inst.G.ArcID(mv.From, mv.To)
+	if id < 0 {
+		return -1, false
 	}
-	if used[[2]int{mv.From, mv.To}] >= capacity {
-		return false
+	if used[id] >= st.Inst.G.CapByID(id) {
+		return -1, false
 	}
-	return st.Possess[mv.From].Has(mv.Token)
+	if !st.Possess[mv.From].Has(mv.Token) {
+		return -1, false
+	}
+	return id, true
 }

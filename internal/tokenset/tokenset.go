@@ -139,6 +139,30 @@ func (s Set) DifferenceWith(o Set) {
 	}
 }
 
+// SetDifference overwrites the receiver with a \ b without allocating.
+// All three universes must match.
+func (s Set) SetDifference(a, b Set) {
+	for i := range s.words {
+		s.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
+// SetIntersection overwrites the receiver with a ∩ b without allocating.
+// All three universes must match.
+func (s Set) SetIntersection(a, b Set) {
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Fill adds every token in [0, Universe) to the set in place.
+func (s Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
 // Union returns a new set with all tokens in s or o.
 func (s Set) Union(o Set) Set {
 	c := s.Clone()
@@ -265,6 +289,17 @@ func (s Set) Slice() []int {
 		return true
 	})
 	return out
+}
+
+// AppendTo appends the tokens in ascending order to buf and returns the
+// extended slice. Reusing buf[:0] across calls keeps the hot path
+// allocation free once the buffer has grown to its steady-state size.
+func (s Set) AppendTo(buf []int) []int {
+	s.ForEach(func(t int) bool {
+		buf = append(buf, t)
+		return true
+	})
+	return buf
 }
 
 // Clear removes every token from the set.
