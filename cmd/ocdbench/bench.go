@@ -136,7 +136,11 @@ func benchGrid(p benchParams) (gridBench, error) {
 
 // benchHeuristic measures the per-timestep cost of one heuristic: wall
 // clock and heap allocations (runtime.MemStats mallocs delta) divided by
-// the total simulated steps across the runs.
+// the total simulated steps across the runs. The measurement repeats for a
+// few passes and keeps the fastest — the minimum is the standard estimator
+// for "cost of the code" under scheduler and GC noise, which single-pass
+// numbers here were observed to swing by ±20%. Allocations are effectively
+// deterministic, so the same pass serves both metrics.
 func benchHeuristic(name string, inst *ocd.Instance, runs int) (heurBench, error) {
 	// Warm-up run: pull one-time costs (lazy tables, first-touch growth)
 	// out of the measurement.
@@ -146,29 +150,33 @@ func benchHeuristic(name string, inst *ocd.Instance, runs int) (heurBench, error
 	}
 	steps := res.Steps
 
-	var before, after runtime.MemStats
-	totalSteps := 0
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < runs; i++ {
-		res, err := ocd.RunHeuristic(inst, name, ocd.RunOptions{Seed: int64(i + 1), Prune: true})
-		if err != nil {
-			return heurBench{}, fmt.Errorf("%s run %d: %w", name, i, err)
+	const passes = 3
+	best := heurBench{Name: name, Steps: steps}
+	for pass := 0; pass < passes; pass++ {
+		var before, after runtime.MemStats
+		totalSteps := 0
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			res, err := ocd.RunHeuristic(inst, name, ocd.RunOptions{Seed: int64(i + 1), Prune: true})
+			if err != nil {
+				return heurBench{}, fmt.Errorf("%s run %d: %w", name, i, err)
+			}
+			totalSteps += res.Steps
 		}
-		totalSteps += res.Steps
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if totalSteps == 0 {
+			return heurBench{}, fmt.Errorf("%s: zero steps simulated", name)
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(totalSteps)
+		if pass == 0 || ns < best.NsPerStep {
+			best.NsPerStep = ns
+			best.AllocsPerStep = float64(after.Mallocs-before.Mallocs) / float64(totalSteps)
+		}
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	if totalSteps == 0 {
-		return heurBench{}, fmt.Errorf("%s: zero steps simulated", name)
-	}
-	return heurBench{
-		Name:          name,
-		Steps:         steps,
-		NsPerStep:     float64(elapsed.Nanoseconds()) / float64(totalSteps),
-		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(totalSteps),
-	}, nil
+	return best, nil
 }
 
 // validateBench re-parses the serialized report and rejects structurally
@@ -199,10 +207,73 @@ func validateBench(data []byte) error {
 	return nil
 }
 
+// compareBench asserts the fresh report has not regressed against a
+// committed baseline BENCH_*.json: per heuristic, ns/step and allocs/step
+// must stay within tol of the baseline. Allocations get half an alloc/step
+// of absolute slack on top, since step counts (the denominator) may differ
+// between revisions. A missing or malformed baseline is an error; an extra
+// baseline heuristic the fresh report lacks is too — shrinking coverage
+// must not pass as a win.
+func compareBench(report benchReport, baselinePath string, tol float64, stdout io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading bench baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench baseline is not valid JSON: %w", err)
+	}
+	if base.Schema != benchSchema {
+		return fmt.Errorf("bench baseline schema = %q, want %q", base.Schema, benchSchema)
+	}
+	fresh := make(map[string]heurBench, len(report.Heuristics))
+	for _, h := range report.Heuristics {
+		fresh[h.Name] = h
+	}
+	var failures []string
+	for _, b := range base.Heuristics {
+		h, ok := fresh[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline %s but not measured", b.Name, base.Revision))
+			continue
+		}
+		nsRatio := h.NsPerStep / b.NsPerStep
+		allocRatio := h.AllocsPerStep / b.AllocsPerStep
+		fmt.Fprintf(stdout, "compare %s: ns/step %.0f -> %.0f (%+.1f%%), allocs/step %.2f -> %.2f (%+.1f%%)\n",
+			b.Name, b.NsPerStep, h.NsPerStep, (nsRatio-1)*100,
+			b.AllocsPerStep, h.AllocsPerStep, (allocRatio-1)*100)
+		if h.NsPerStep > b.NsPerStep*(1+tol) {
+			failures = append(failures, fmt.Sprintf("%s: ns/step %.0f exceeds baseline %.0f by more than %.0f%%",
+				b.Name, h.NsPerStep, b.NsPerStep, tol*100))
+		}
+		if h.AllocsPerStep > b.AllocsPerStep*(1+tol)+0.5 {
+			failures = append(failures, fmt.Sprintf("%s: allocs/step %.2f exceeds baseline %.2f by more than %.0f%%",
+				b.Name, h.AllocsPerStep, b.AllocsPerStep, tol*100))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression vs %s:\n  %s", baselinePath, joinLines(failures))
+	}
+	fmt.Fprintf(stdout, "compare: no regression vs %s (tolerance %.0f%%)\n", base.Revision, tol*100)
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
 // runBench produces BENCH_<rev>.json in outDir and prints a one-line
 // summary per section. The report is validated before it is written; an
-// invalid report is an error, not an artifact.
-func runBench(quick bool, rev, outDir string, stdout io.Writer) error {
+// invalid report is an error, not an artifact. The written report is
+// returned so -compare can check it against a baseline.
+func runBench(quick bool, rev, outDir string, stdout io.Writer) (benchReport, error) {
 	scale, p := benchScale(quick)
 	report := benchReport{
 		Schema:     benchSchema,
@@ -213,7 +284,7 @@ func runBench(quick bool, rev, outDir string, stdout io.Writer) error {
 
 	grid, err := benchGrid(p)
 	if err != nil {
-		return err
+		return benchReport{}, err
 	}
 	report.Grid = grid
 	fmt.Fprintf(stdout, "grid: %d cells, %.1f cells/sec, %.2fx vs serial, parallel==serial: %v\n",
@@ -221,13 +292,13 @@ func runBench(quick bool, rev, outDir string, stdout io.Writer) error {
 
 	g, err := ocd.RandomTopology(p.heurN, ocd.DefaultCaps, 1)
 	if err != nil {
-		return err
+		return benchReport{}, err
 	}
 	inst := ocd.SingleFile(g, p.heurTokens)
 	for _, name := range ocd.Heuristics() {
 		h, err := benchHeuristic(name, inst, p.heurRuns)
 		if err != nil {
-			return err
+			return benchReport{}, err
 		}
 		report.Heuristics = append(report.Heuristics, h)
 		fmt.Fprintf(stdout, "%s: %.0f ns/step, %.1f allocs/step (%d steps)\n",
@@ -236,16 +307,16 @@ func runBench(quick bool, rev, outDir string, stdout io.Writer) error {
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		return err
+		return benchReport{}, err
 	}
 	data = append(data, '\n')
 	if err := validateBench(data); err != nil {
-		return err
+		return benchReport{}, err
 	}
 	path := filepath.Join(outDir, "BENCH_"+report.Revision+".json")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("writing bench report: %w", err)
+		return benchReport{}, fmt.Errorf("writing bench report: %w", err)
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", path)
-	return nil
+	return report, nil
 }

@@ -122,9 +122,17 @@ func run(args []string, stdout io.Writer) error {
 		quick    = fs.Bool("quick", false, "like -bench but at CI-smoke scale")
 		out      = fs.String("out", ".", "directory for the BENCH_<rev>.json report")
 		rev      = fs.String("rev", "", "revision stamp for the bench report (default: VCS revision)")
+		compare  = fs.String("compare", "", "baseline BENCH_*.json to compare the fresh bench report against")
+		tol      = fs.Float64("tol", 0.05, "relative regression tolerance for -compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare != "" && !*bench && !*quick {
+		return fmt.Errorf("-compare needs a fresh report; combine it with -bench or -quick")
+	}
+	if *tol < 0 {
+		return fmt.Errorf("-tol must be non-negative, got %v", *tol)
 	}
 
 	p, err := params(*scale)
@@ -152,8 +160,14 @@ func run(args []string, stdout io.Writer) error {
 	ran := false
 	if *bench || *quick {
 		ran = true
-		if err := runBench(*quick, *rev, *out, stdout); err != nil {
+		report, err := runBench(*quick, *rev, *out, stdout)
+		if err != nil {
 			return err
+		}
+		if *compare != "" {
+			if err := compareBench(report, *compare, *tol, stdout); err != nil {
+				return err
+			}
 		}
 	}
 	runFig := func(n int) bool { return *all || *fig == n }

@@ -43,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 		instPath  = fs.String("instance", "", "load the instance from this JSON file instead of generating one")
 		dumpInst  = fs.String("dump-instance", "", "write the instance as JSON to this file")
 		dumpSched = fs.String("dump-schedule", "", "write the last schedule as JSON to this file")
+		steptrace = fs.String("steptrace", "", "write the last run's per-step trace as JSONL to this file")
 		timeline  = fs.Bool("timeline", false, "print the last schedule as a per-step timeline")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +51,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := validateFlags(*n, *tokens, *loss, *density, *patience, *maxSteps, *files); err != nil {
 		return err
+	}
+	if *steptrace != "" && *oracle {
+		return fmt.Errorf("-steptrace cannot be combined with -oracle")
 	}
 
 	inst, err := buildInstance(*instPath, *topo, *work, *n, *tokens, *density, *files, *seed)
@@ -75,15 +79,22 @@ func run(args []string, stdout io.Writer) error {
 		names = ocd.Heuristics()
 	}
 	var last *ocd.Schedule
+	var lastTrace *ocd.StepCollector
 	for _, name := range names {
 		var res *ocd.RunResult
 		if *oracle {
 			res, err = ocd.RunOracle(inst, name, *seed)
 		} else {
-			res, err = ocd.RunHeuristic(inst, name, ocd.RunOptions{
+			opts := ocd.RunOptions{
 				MaxSteps: *maxSteps, Seed: *seed, Prune: *loss == 0, LossRate: *loss,
 				IdlePatience: *patience,
-			})
+			}
+			if *steptrace != "" {
+				col := ocd.NewStepCollector(inst)
+				opts.Observer = col
+				lastTrace = col
+			}
+			res, err = ocd.RunHeuristic(inst, name, opts)
 		}
 		if err != nil {
 			return fmt.Errorf("heuristic %s: %w", name, err)
@@ -103,6 +114,13 @@ func run(args []string, stdout io.Writer) error {
 	if *dumpSched != "" && last != nil {
 		if err := writeJSON(*dumpSched, func(w io.Writer) error {
 			return ocd.EncodeScheduleJSON(w, last)
+		}); err != nil {
+			return err
+		}
+	}
+	if *steptrace != "" && lastTrace != nil {
+		if err := writeJSON(*steptrace, func(w io.Writer) error {
+			return ocd.EncodeStepTraceJSONL(w, lastTrace.Records)
 		}); err != nil {
 			return err
 		}

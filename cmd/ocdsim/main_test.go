@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ocd"
 )
 
 func runOK(t *testing.T, args ...string) string {
@@ -73,6 +75,44 @@ func TestRunDumpAndLoadInstance(t *testing.T) {
 	out := runOK(t, "-instance", instPath, "-heuristic", "global")
 	if !strings.Contains(out, "completed=true") {
 		t.Errorf("loaded instance run failed:\n%s", out)
+	}
+}
+
+func TestRunStepTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	out := runOK(t, "-n", "15", "-tokens", "8", "-heuristic", "local",
+		"-loss", "0.1", "-steptrace", tracePath)
+	if !strings.Contains(out, "local") {
+		t.Errorf("output:\n%s", out)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("step trace missing: %v", err)
+	}
+	defer f.Close()
+	recs, err := ocd.DecodeStepTraceJSONL(f)
+	if err != nil {
+		t.Fatalf("step trace does not round-trip: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Error("step trace is empty")
+	}
+	// The trace must cover the whole run: total delivered moves match the
+	// reported bandwidth column only loosely (losses), so just check the
+	// counters are coherent.
+	for _, rec := range recs {
+		if rec.Moves < 0 || rec.ArcsUsed > rec.Moves+rec.Losses {
+			t.Errorf("incoherent record: %+v", rec)
+		}
+	}
+}
+
+func TestRunStepTraceRejectsOracle(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "10", "-tokens", "4", "-oracle", "-steptrace", "t.jsonl"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-oracle") {
+		t.Errorf("run accepted -steptrace with -oracle: %v", err)
 	}
 }
 

@@ -7,7 +7,6 @@ package competitive
 
 import (
 	"fmt"
-	"math/rand"
 
 	"ocd/internal/core"
 	"ocd/internal/graph"
@@ -88,13 +87,11 @@ func WorstCaseRatio(pathLen, m, cap int) (RatioPoint, error) {
 // diameter of the optimal offline schedule, the best general guarantee
 // available (§4.2).
 func Oracle(inner sim.Factory) sim.Factory {
-	return func(inst *core.Instance, rng *rand.Rand) (sim.Strategy, error) {
-		s, err := inner(inst, rng)
-		if err != nil {
-			return nil, err
-		}
+	// The facade name composes as oracle(<inner>) — experiment tables key
+	// on it.
+	return sim.WrapStrategy(inner, func(inst *core.Instance, s sim.Strategy) (sim.Strategy, error) {
 		return &oracleStrategy{inner: s, wait: knowledgeWait(inst.G)}, nil
-	}
+	})
 }
 
 type oracleStrategy struct {

@@ -229,7 +229,7 @@ type Result struct {
 }
 
 // Run executes a strategy under a capacity model. Each timestep the
-// strategy plans against the step's effective graph, and the engine
+// strategy plans against the step's effective graph, and the kernel
 // enforces the effective capacities. MaxSteps in opts bounds the run
 // (0 = 4× the Theorem 1 horizon — dynamic conditions legitimately slow
 // distribution down).
@@ -242,7 +242,6 @@ func Run(inst *core.Instance, factory sim.Factory, model Model, opts sim.Options
 		maxSteps = 4*inst.TheoremOneHorizon() + opts.IdlePatience
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	lossRng := sim.LossRand(opts.Seed)
 	strat, err := factory(inst, rng)
 	if err != nil {
 		return nil, fmt.Errorf("dynamic: create strategy: %w", err)
@@ -252,87 +251,68 @@ func Run(inst *core.Instance, factory sim.Factory, model Model, opts sim.Options
 		done = core.Done
 	}
 
-	possess := inst.InitialPossession()
+	st := &sim.State{Inst: inst, Possess: inst.InitialPossession(), Rand: rng}
 	res := &Result{
 		Result: &sim.Result{Strategy: strat.Name(), Schedule: &core.Schedule{}},
 		Model:  model.Name(),
 	}
-	idle := 0
-	aware, _ := model.(PossessionAware)
-
-	for step := 0; step < maxSteps; step++ {
-		if done(inst, possess) {
-			break
-		}
-		if aware != nil {
-			aware.Observe(step, possess)
-		}
-		eff, effInst := effectiveStep(inst, model, step)
-		st := &sim.State{Inst: effInst, Possess: possess, Step: step, Rand: rng}
-		proposed := strat.Plan(st)
-		used := make(map[[2]int]int)
-		var accepted core.Step
-		for _, mv := range proposed {
-			capacity := eff[[2]int{mv.From, mv.To}]
-			if mv.Token < 0 || mv.Token >= inst.NumTokens ||
-				capacity == 0 || used[[2]int{mv.From, mv.To}] >= capacity ||
-				!possess[mv.From].Has(mv.Token) {
-				res.Rejected++
-				continue
-			}
-			used[[2]int{mv.From, mv.To}]++
-			accepted = append(accepted, mv)
-		}
-		if len(accepted) == 0 {
-			idle++
-			if idle > opts.IdlePatience {
-				return res, fmt.Errorf("%w: step %d under %s", sim.ErrStalled, step, model.Name())
-			}
-			res.Schedule.Append(accepted)
-			continue
-		}
-		idle = 0
-		var delivered core.Step
-		for _, mv := range accepted {
-			if opts.LossRate > 0 && lossRng.Float64() < opts.LossRate {
-				res.Lost++
-				continue
-			}
-			delivered = append(delivered, mv)
-		}
-		for _, mv := range delivered {
-			possess[mv.To].Add(mv.Token)
-		}
-		res.Schedule.Append(delivered)
+	eng := sim.Engine{
+		MaxSteps:     maxSteps,
+		IdlePatience: opts.IdlePatience,
+		Done:         done,
+		Capacity:     newCapacityModel(inst, model),
+		Loss:         sim.RateLossPolicy(opts.LossRate, opts.Seed),
+		Observer:     opts.Observer,
 	}
-
-	res.Completed = done(inst, possess)
-	res.Steps = res.Schedule.Makespan()
-	res.Moves = res.Schedule.Moves() + res.Lost
-	if opts.Prune && res.Completed {
-		res.PrunedMoves = core.Prune(inst, res.Schedule).Moves()
+	reason, stepAt := eng.Run(inst, strat, st, res.Result)
+	if reason == sim.StopStalled {
+		return res, fmt.Errorf("%w: step %d under %s", sim.ErrStalled, stepAt, model.Name())
 	}
+	res.Finalize(inst, st.Possess, done, opts.Prune)
 	return res, nil
 }
 
-// effectiveStep materializes the step's effective capacities and an
-// instance view whose graph reflects them (so strategies plan within the
-// true constraints).
-func effectiveStep(inst *core.Instance, model Model, step int) (map[[2]int]int, *core.Instance) {
-	eff := make(map[[2]int]int, inst.G.NumArcs())
-	g := graph.New(inst.N())
-	for _, a := range inst.G.Arcs() {
-		c := model.Cap(step, a)
-		if c < 0 {
-			c = 0
+// capacityModel adapts a Model (plus its optional PossessionAware side) to
+// the kernel's CapacityModel: each step it materializes the effective
+// capacities into the dense arc-ID slice and builds the instance view the
+// strategy plans against. Arcs are added in the base graph's sorted
+// (From, To) order so the view's adjacency and arc-ID assignment are
+// deterministic and identical to the pre-kernel engine's.
+type capacityModel struct {
+	inst  *core.Instance
+	model Model
+	aware PossessionAware
+	arcs  []graph.Arc // base arcs, sorted by (From, To), cached per run
+	ids   []int       // base arc ID per arcs[i]
+}
+
+func newCapacityModel(inst *core.Instance, model Model) *capacityModel {
+	arcs := inst.G.Arcs()
+	ids := make([]int, len(arcs))
+	for i, a := range arcs {
+		ids[i] = inst.G.ArcID(a.From, a.To)
+	}
+	aware, _ := model.(PossessionAware)
+	return &capacityModel{inst: inst, model: model, aware: aware, arcs: arcs, ids: ids}
+}
+
+// StepView implements sim.CapacityModel.
+func (c *capacityModel) StepView(step int, st *sim.State, eff []int) *core.Instance {
+	if c.aware != nil {
+		c.aware.Observe(step, st.Possess)
+	}
+	g := graph.New(c.inst.N())
+	for i, a := range c.arcs {
+		cap := c.model.Cap(step, a)
+		if cap < 0 {
+			cap = 0
 		}
-		eff[[2]int{a.From, a.To}] = c
-		if c > 0 {
-			_ = g.AddArc(a.From, a.To, c) // arcs are valid by construction
+		eff[c.ids[i]] = cap
+		if cap > 0 {
+			_ = g.AddArc(a.From, a.To, cap) // arcs are valid by construction
 		}
 	}
-	view := &core.Instance{G: g, NumTokens: inst.NumTokens, Have: inst.Have, Want: inst.Want}
-	return eff, view
+	return &core.Instance{G: g, NumTokens: c.inst.NumTokens, Have: c.inst.Have, Want: c.inst.Want}
 }
 
 // Validate replays a dynamic schedule against the instance and model,

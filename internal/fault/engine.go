@@ -82,164 +82,202 @@ func Run(inst *core.Instance, factory sim.Factory, plan Plan, opts sim.Options) 
 		done = core.Done
 	}
 
-	n := inst.N()
-	possess := inst.InitialPossession()
+	st := &sim.State{Inst: inst, Possess: inst.InitialPossession(), Rand: rng}
 	res := &Result{
 		Result: &sim.Result{Strategy: strat.Name(), Schedule: &core.Schedule{}},
 		Plan:   plan.Name(),
 	}
-	aware, _ := plan.Capacity.(dynamic.PossessionAware)
-
-	prevDown := make([]bool, n)
-	down := make([]bool, n)
-	perm := make([]bool, n)
-	// everDelivered tracks first deliveries for the retransmission count;
-	// unsat accumulates each receiver's proven-undeliverable tokens.
-	everDelivered := make([]tokenset.Set, n)
-	unsat := make([]tokenset.Set, n)
-	for v := 0; v < n; v++ {
-		everDelivered[v] = tokenset.New(inst.NumTokens)
-		unsat[v] = tokenset.New(inst.NumTokens)
-	}
-	idle := 0
-	needDetect := true // always vet reachability before the first step
+	fk := newFaultKernel(inst, plan, res)
 
 	finish := func(graceful bool) *Result {
-		res.Completed = done(inst, possess)
+		res.Completed = done(inst, st.Possess)
 		res.Graceful = graceful && !res.Completed
 		res.Steps = res.Schedule.Makespan()
 		res.Moves = res.Schedule.Moves() + res.Lost
-		res.DeliveredFraction = deliveredFraction(inst, possess)
-		res.Unsatisfiable = receiverReports(inst, possess, unsat)
+		res.DeliveredFraction = deliveredFraction(inst, st.Possess)
+		res.Unsatisfiable = receiverReports(inst, st.Possess, fk.unsat)
 		if opts.Prune && res.Completed {
 			res.PrunedMoves = core.Prune(inst, res.Schedule).Moves()
 		}
 		return res
 	}
 
-	for step := 0; step < maxSteps; step++ {
-		// Crash transitions first: a vertex that is down this step cannot
-		// send, receive, or plan, and its state-loss policy applies at the
-		// moment it goes down.
-		for v := 0; v < n; v++ {
-			down[v] = plan.Crashes.Down(step, v)
-			if down[v] {
-				res.DownSteps++
-				perm[v] = perm[v] || plan.Crashes.Permanent(step, v)
-			}
-			if down[v] && !prevDown[v] {
-				res.Crashes++
-				needDetect = true
-				switch plan.StateLoss {
-				case DropDownloads:
-					res.WastedMoves += possess[v].DifferenceCount(inst.Have[v])
-					possess[v].CopyFrom(inst.Have[v])
-				case DropAll:
-					res.WastedMoves += possess[v].DifferenceCount(inst.Have[v])
-					possess[v].Clear()
-				}
-			}
-			prevDown[v] = down[v]
-		}
-
-		if needDetect {
-			detect(inst, possess, perm, unsat)
-			needDetect = false
-		}
-		if done(inst, possess) {
-			return finish(false), nil
-		}
-		if settled(inst, possess, unsat) {
-			// Every remaining want is undeliverable: stop now, well before
-			// the horizon, with an explicit report.
-			return finish(true), nil
-		}
-
-		if aware != nil {
-			aware.Observe(step, possess)
-		}
-		eff, effInst := effectiveStep(inst, plan, down, step)
-		st := &sim.State{Inst: effInst, Possess: possess, Step: step, Rand: rng}
-		proposed := strat.Plan(st)
-		used := make(map[[2]int]int)
-		var accepted core.Step
-		for _, mv := range proposed {
-			key := [2]int{mv.From, mv.To}
-			if mv.Token < 0 || mv.Token >= inst.NumTokens ||
-				down[mv.From] || down[mv.To] ||
-				eff[key] == 0 || used[key] >= eff[key] ||
-				!possess[mv.From].Has(mv.Token) {
-				res.Rejected++
-				continue
-			}
-			used[key]++
-			accepted = append(accepted, mv)
-		}
-
-		if len(accepted) == 0 {
-			idle++
-			if idle > opts.IdlePatience {
-				// Re-check before declaring a stall: the strategy may be
-				// idle precisely because nothing deliverable remains.
-				detect(inst, possess, perm, unsat)
-				if settled(inst, possess, unsat) {
-					return finish(true), nil
-				}
-				return finish(false), fmt.Errorf("%w: step %d under %s", sim.ErrStalled, step, plan.Name())
-			}
-			res.Schedule.Append(accepted)
-			continue
-		}
-		idle = 0
-
-		// The plan's loss model replaces Options.LossRate: per-arc k
-		// indices give every accepted move its own deterministic draw.
-		lossIdx := make(map[[2]int]int)
-		var delivered core.Step
-		for _, mv := range accepted {
-			key := [2]int{mv.From, mv.To}
-			k := lossIdx[key]
-			lossIdx[key]++
-			if plan.Loss.Drop(step, mv.From, mv.To, k) {
-				res.Lost++
-				continue
-			}
-			delivered = append(delivered, mv)
-		}
-		for _, mv := range delivered {
-			if everDelivered[mv.To].Has(mv.Token) {
-				res.Retransmissions++
-			} else {
-				everDelivered[mv.To].Add(mv.Token)
-			}
-			possess[mv.To].Add(mv.Token)
-		}
-		res.Schedule.Append(delivered)
+	eng := sim.Engine{
+		MaxSteps:     maxSteps,
+		IdlePatience: opts.IdlePatience,
+		Done:         done,
+		Capacity:     fk,
+		Loss:         fk,
+		Interceptor:  fk,
+		Observer:     opts.Observer,
 	}
-	return finish(false), nil
+	reason, stepAt := eng.Run(inst, strat, st, res.Result)
+	switch reason {
+	case sim.StopEarly:
+		// Every remaining want is proven undeliverable: the graceful
+		// outcome, reported well before the horizon.
+		return finish(true), nil
+	case sim.StopStalled:
+		// Unlike the other engines, a faulted run finalizes its metrics
+		// even on a stall — partial degradation reports are the point.
+		return finish(false), fmt.Errorf("%w: step %d under %s", sim.ErrStalled, stepAt, plan.Name())
+	default:
+		return finish(false), nil
+	}
 }
 
-// effectiveStep materializes the step's effective capacities — the capacity
-// model's output with crashed vertices' arcs removed — and an instance view
-// so strategies plan within the true constraints.
-func effectiveStep(inst *core.Instance, plan Plan, down []bool, step int) (map[[2]int]int, *core.Instance) {
-	eff := make(map[[2]int]int, inst.G.NumArcs())
-	g := graph.New(inst.N())
-	for _, a := range inst.G.Arcs() {
+// faultKernel is the fault plan's hook bundle: one value implements the
+// kernel's CapacityModel (crash- and plan-adjusted capacities),
+// StepInterceptor (crash transitions, reachability detection, graceful
+// settlement, retransmission accounting), and LossPolicy (the plan's
+// deterministic per-arc draws).
+type faultKernel struct {
+	inst  *core.Instance
+	plan  Plan
+	res   *Result
+	aware dynamic.PossessionAware
+
+	arcs []graph.Arc // base arcs, sorted by (From, To), cached per run
+	ids  []int       // base arc ID per arcs[i]
+
+	prevDown, down, perm []bool
+	// everDelivered tracks first deliveries for the retransmission count;
+	// unsat accumulates each receiver's proven-undeliverable tokens.
+	everDelivered []tokenset.Set
+	unsat         []tokenset.Set
+	needDetect    bool
+
+	// lossK holds the per-arc draw index k within the current step; the
+	// plan's loss model replaces Options.LossRate and every accepted move
+	// gets its own deterministic draw.
+	lossK    []int
+	lossStep int
+}
+
+func newFaultKernel(inst *core.Instance, plan Plan, res *Result) *faultKernel {
+	n := inst.N()
+	arcs := inst.G.Arcs()
+	ids := make([]int, len(arcs))
+	for i, a := range arcs {
+		ids[i] = inst.G.ArcID(a.From, a.To)
+	}
+	aware, _ := plan.Capacity.(dynamic.PossessionAware)
+	fk := &faultKernel{
+		inst:          inst,
+		plan:          plan,
+		res:           res,
+		aware:         aware,
+		arcs:          arcs,
+		ids:           ids,
+		prevDown:      make([]bool, n),
+		down:          make([]bool, n),
+		perm:          make([]bool, n),
+		everDelivered: make([]tokenset.Set, n),
+		unsat:         make([]tokenset.Set, n),
+		needDetect:    true, // always vet reachability before the first step
+		lossK:         make([]int, inst.G.NumArcs()),
+		lossStep:      -1,
+	}
+	for v := 0; v < n; v++ {
+		fk.everDelivered[v] = tokenset.New(inst.NumTokens)
+		fk.unsat[v] = tokenset.New(inst.NumTokens)
+	}
+	return fk
+}
+
+// PreStep implements sim.StepInterceptor: crash transitions first — a
+// vertex that is down this step cannot send, receive, or plan, and its
+// state-loss policy applies at the moment it goes down — then reachability
+// detection if any crash occurred.
+func (f *faultKernel) PreStep(step int, st *sim.State) {
+	wiped := false
+	for v := range f.down {
+		f.down[v] = f.plan.Crashes.Down(step, v)
+		if f.down[v] {
+			f.res.DownSteps++
+			f.perm[v] = f.perm[v] || f.plan.Crashes.Permanent(step, v)
+		}
+		if f.down[v] && !f.prevDown[v] {
+			f.res.Crashes++
+			f.needDetect = true
+			switch f.plan.StateLoss {
+			case DropDownloads:
+				f.res.WastedMoves += st.Possess[v].DifferenceCount(f.inst.Have[v])
+				st.Possess[v].CopyFrom(f.inst.Have[v])
+				wiped = true
+			case DropAll:
+				f.res.WastedMoves += st.Possess[v].DifferenceCount(f.inst.Have[v])
+				st.Possess[v].Clear()
+				wiped = true
+			}
+		}
+		f.prevDown[v] = f.down[v]
+	}
+	if wiped {
+		st.InvalidateCounts()
+	}
+	if f.needDetect {
+		detect(f.inst, st.Possess, f.perm, f.unsat)
+		f.needDetect = false
+	}
+}
+
+// StopEarly implements sim.StepInterceptor: the graceful-settlement check.
+func (f *faultKernel) StopEarly(_ int, st *sim.State) bool {
+	return settled(f.inst, st.Possess, f.unsat)
+}
+
+// OnDeliver implements sim.StepInterceptor: retransmission accounting.
+func (f *faultKernel) OnDeliver(_ int, mv core.Move) {
+	if f.everDelivered[mv.To].Has(mv.Token) {
+		f.res.Retransmissions++
+	} else {
+		f.everDelivered[mv.To].Add(mv.Token)
+	}
+}
+
+// OnIdleLimit implements sim.StepInterceptor: re-check reachability before
+// declaring a stall — the strategy may be idle precisely because nothing
+// deliverable remains.
+func (f *faultKernel) OnIdleLimit(_ int, st *sim.State) bool {
+	detect(f.inst, st.Possess, f.perm, f.unsat)
+	return settled(f.inst, st.Possess, f.unsat)
+}
+
+// StepView implements sim.CapacityModel: the capacity model's output with
+// crashed vertices' arcs removed, plus the instance view strategies plan
+// against.
+func (f *faultKernel) StepView(step int, st *sim.State, eff []int) *core.Instance {
+	if f.aware != nil {
+		f.aware.Observe(step, st.Possess)
+	}
+	g := graph.New(f.inst.N())
+	for i, a := range f.arcs {
 		c := 0
-		if !down[a.From] && !down[a.To] {
-			c = plan.Capacity.Cap(step, a)
+		if !f.down[a.From] && !f.down[a.To] {
+			c = f.plan.Capacity.Cap(step, a)
 			if c < 0 {
 				c = 0
 			}
 		}
-		eff[[2]int{a.From, a.To}] = c
+		eff[f.ids[i]] = c
 		if c > 0 {
 			_ = g.AddArc(a.From, a.To, c) // arcs are valid by construction
 		}
 	}
-	view := &core.Instance{G: g, NumTokens: inst.NumTokens, Have: inst.Have, Want: inst.Want}
-	return eff, view
+	return &core.Instance{G: g, NumTokens: f.inst.NumTokens, Have: f.inst.Have, Want: f.inst.Want}
+}
+
+// Lost implements sim.LossPolicy via the plan's deterministic loss model;
+// the per-arc k index advances for every accepted move, dropped or not.
+func (f *faultKernel) Lost(step int, mv core.Move, arcID int) bool {
+	if step != f.lossStep {
+		clear(f.lossK)
+		f.lossStep = step
+	}
+	k := f.lossK[arcID]
+	f.lossK[arcID]++
+	return f.plan.Loss.Drop(step, mv.From, mv.To, k)
 }
 
 // detect grows the per-receiver undeliverable-token sets: a missing token

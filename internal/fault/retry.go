@@ -2,7 +2,6 @@ package fault
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"ocd/internal/core"
@@ -55,18 +54,15 @@ type retryStrategy struct {
 }
 
 // WithRetry wraps a strategy factory with the retry-with-backoff layer.
+// The facade name composes as retry(<inner>) — experiment tables key on it.
 func WithRetry(inner sim.Factory, opts RetryOptions) sim.Factory {
-	return func(inst *core.Instance, rng *rand.Rand) (sim.Strategy, error) {
-		s, err := inner(inst, rng)
-		if err != nil {
-			return nil, err
-		}
+	return sim.WrapStrategy(inner, func(_ *core.Instance, s sim.Strategy) (sim.Strategy, error) {
 		return &retryStrategy{
 			inner:   s,
 			opts:    opts.withDefaults(),
 			pending: make(map[[2]int]*pending),
 		}, nil
-	}
+	})
 }
 
 func (r *retryStrategy) Name() string { return fmt.Sprintf("retry(%s)", r.inner.Name()) }

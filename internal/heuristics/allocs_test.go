@@ -23,6 +23,19 @@ var allocCeilings = map[string]float64{
 	"global":     800,
 }
 
+// lossyAllocCeilings guard the loss-enabled kernel path: a loss draw per
+// accepted move plus the exact-size delivered copy must not reintroduce
+// per-step allocation. The absolute counts sit below the lossless ones
+// because lossy runs skip the pruning pass; measured the same way, ~50%
+// headroom above observed.
+var lossyAllocCeilings = map[string]float64{
+	"roundrobin": 250,
+	"random":     250,
+	"local":      250,
+	"bandwidth":  250,
+	"global":     500,
+}
+
 // BenchmarkHeuristicRun is the per-heuristic microbenchmark backing the
 // ceilings above: -benchmem reports allocs/op for the same fixed workload.
 func BenchmarkHeuristicRun(b *testing.B) {
@@ -46,6 +59,9 @@ func BenchmarkHeuristicRun(b *testing.B) {
 
 // TestAllocationCeilings runs every heuristic end to end on a fixed
 // instance and fails if its total allocations exceed the recorded ceiling.
+// The lossless and lossy kernel paths are guarded separately: the lossy
+// path draws from the loss stream per accepted move and copies delivered
+// moves out at exact size, both of which must stay amortized.
 func TestAllocationCeilings(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are inflated by the race detector")
@@ -55,22 +71,33 @@ func TestAllocationCeilings(t *testing.T) {
 		t.Fatal(err)
 	}
 	inst := workload.SingleFile(g, 40)
-	for i, factory := range All() {
-		name := Names()[i]
-		ceiling, ok := allocCeilings[name]
-		if !ok {
-			t.Errorf("%s: no allocation ceiling recorded; add one", name)
-			continue
-		}
-		allocs := testing.AllocsPerRun(5, func() {
-			if _, err := sim.Run(inst, factory, sim.Options{Seed: 1, Prune: true}); err != nil {
-				t.Fatalf("%s: %v", name, err)
+	for _, path := range []struct {
+		label    string
+		opts     sim.Options
+		ceilings map[string]float64
+	}{
+		{"lossless", sim.Options{Seed: 1, Prune: true}, allocCeilings},
+		{"lossy", sim.Options{Seed: 1, LossRate: 0.15, IdlePatience: 30}, lossyAllocCeilings},
+	} {
+		t.Run(path.label, func(t *testing.T) {
+			for i, factory := range All() {
+				name := Names()[i]
+				ceiling, ok := path.ceilings[name]
+				if !ok {
+					t.Errorf("%s: no allocation ceiling recorded; add one", name)
+					continue
+				}
+				allocs := testing.AllocsPerRun(5, func() {
+					if _, err := sim.Run(inst, factory, path.opts); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+				})
+				t.Logf("%s: %.0f allocs/run (ceiling %.0f)", name, allocs, ceiling)
+				if allocs > ceiling {
+					t.Errorf("%s allocated %.0f times per run, ceiling %.0f — a per-step allocation crept back in",
+						name, allocs, ceiling)
+				}
 			}
 		})
-		t.Logf("%s: %.0f allocs/run (ceiling %.0f)", name, allocs, ceiling)
-		if allocs > ceiling {
-			t.Errorf("%s allocated %.0f times per run, ceiling %.0f — a per-step allocation crept back in",
-				name, allocs, ceiling)
-		}
 	}
 }

@@ -1,0 +1,203 @@
+package sim_test
+
+// Golden equivalence tests for the step-kernel consolidation: each of the
+// four engines (baseline, dynamic, fault, underlay) is run on seeded
+// transit-stub instances for every heuristic, and the observable outcome —
+// makespan, moves, rejected, lost, and an FNV-1a hash of the full schedule
+// — is pinned against values recorded on the pre-kernel engines. Any
+// divergence means the consolidation changed behavior, not just structure.
+//
+// To regenerate the table after an intentional semantic change, run:
+//
+//	OCD_GOLDEN_PRINT=1 go test ./internal/sim -run TestGoldenEngineEquivalence -v
+//
+// and paste the printed table over goldenEngineTable below. Regenerating is
+// a deliberate act: it asserts the behavior change was intended.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/dynamic"
+	"ocd/internal/fault"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/underlay"
+	"ocd/internal/workload"
+)
+
+// hashSchedule folds every step boundary and move of a schedule into an
+// FNV-1a digest, so two schedules hash equal iff they are move-for-move
+// identical.
+func hashSchedule(sched *core.Schedule) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(x int) {
+		v := uint64(x)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, st := range sched.Steps {
+		writeInt(-1) // step boundary marker
+		for _, mv := range st {
+			writeInt(mv.From)
+			writeInt(mv.To)
+			writeInt(mv.Token)
+		}
+	}
+	return h.Sum64()
+}
+
+// summarize renders one run outcome as a single golden line.
+func summarize(res *sim.Result, err error) string {
+	if res == nil {
+		return fmt.Sprintf("err=%v", err)
+	}
+	errTag := "nil"
+	if err != nil {
+		errTag = "stalled"
+	}
+	return fmt.Sprintf("steps=%d moves=%d rejected=%d lost=%d hash=%016x err=%s",
+		res.Steps, res.Moves, res.Rejected, res.Lost, hashSchedule(res.Schedule), errTag)
+}
+
+// goldenEngineRuns executes the fixed engine × heuristic grid and renders
+// one line per cell.
+func goldenEngineRuns(t *testing.T) string {
+	t.Helper()
+	g, err := topology.TransitStubN(36, topology.DefaultCaps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 24)
+
+	net, err := underlay.RandomNetwork(60, 14, 2, topology.DefaultCaps, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instU := workload.SingleFile(net.Overlay, 16)
+
+	var b strings.Builder
+	for i, factory := range heuristics.All() {
+		name := heuristics.Names()[i]
+
+		res, err := sim.Run(inst, factory, sim.Options{Seed: 11, IdlePatience: 20, Prune: true})
+		fmt.Fprintf(&b, "base/%s: %s\n", name, summarize(res, err))
+
+		res, err = sim.Run(inst, factory, sim.Options{Seed: 11, LossRate: 0.15, IdlePatience: 30})
+		fmt.Fprintf(&b, "base-lossy/%s: %s\n", name, summarize(res, err))
+
+		dres, err := dynamic.Run(inst, factory,
+			dynamic.CrossTraffic{MaxShare: 0.6, Seed: 3}, sim.Options{Seed: 11, IdlePatience: 30})
+		fmt.Fprintf(&b, "dynamic-cross/%s: %s\n", name, sumDyn(dres, err))
+
+		dres, err = dynamic.Run(inst, factory,
+			dynamic.NewAdversary(inst, g.NumArcs()/8), sim.Options{Seed: 11, IdlePatience: 30})
+		fmt.Fprintf(&b, "dynamic-adversary/%s: %s\n", name, sumDyn(dres, err))
+
+		fres, err := fault.Run(inst, factory, fault.AtIntensity(0.35, 13, 0),
+			sim.Options{Seed: 11, IdlePatience: 40})
+		fmt.Fprintf(&b, "fault-chaos/%s: %s\n", name, sumFault(fres, err))
+
+		fres, err = fault.Run(inst, factory, fault.Plan{
+			Crashes: fault.CrashSchedule{Events: []fault.CrashEvent{
+				{V: 0, At: 4, RecoverAt: -1},
+			}},
+			StateLoss: fault.DropAll,
+		}, sim.Options{Seed: 11, IdlePatience: 40})
+		fmt.Fprintf(&b, "fault-crash/%s: %s\n", name, sumFault(fres, err))
+
+		ures, err := net.Run(instU, factory, sim.Options{Seed: 11, IdlePatience: 30})
+		fmt.Fprintf(&b, "underlay/%s: %s\n", name, summarize(ures, err))
+	}
+	return b.String()
+}
+
+func sumDyn(res *dynamic.Result, err error) string {
+	if res == nil {
+		return fmt.Sprintf("err=%v", err)
+	}
+	return summarize(res.Result, err)
+}
+
+func sumFault(res *fault.Result, err error) string {
+	if res == nil {
+		return fmt.Sprintf("err=%v", err)
+	}
+	// Faulted runs always finalize their metrics, even on a stall; the
+	// graceful flag is part of the pinned behavior.
+	return fmt.Sprintf("%s graceful=%v", summarize(res.Result, err), res.Graceful)
+}
+
+func TestGoldenEngineEquivalence(t *testing.T) {
+	got := goldenEngineRuns(t)
+	if os.Getenv("OCD_GOLDEN_PRINT") != "" {
+		fmt.Print(got)
+		return
+	}
+	want := strings.TrimPrefix(goldenEngineTable, "\n")
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	for i := range gotLines {
+		if i >= len(wantLines) {
+			t.Errorf("extra line %d: %s", i, gotLines[i])
+			continue
+		}
+		if gotLines[i] != wantLines[i] {
+			t.Errorf("line %d:\n got: %s\nwant: %s", i, gotLines[i], wantLines[i])
+		}
+	}
+	if len(wantLines) > len(gotLines) {
+		t.Errorf("missing %d lines", len(wantLines)-len(gotLines))
+	}
+}
+
+// goldenEngineTable was recorded on the pre-kernel engines (commit
+// f592303); the unified kernel must reproduce it byte for byte.
+const goldenEngineTable = `
+base/roundrobin: steps=12 moves=7999 rejected=0 lost=0 hash=deff66d945966b21 err=nil
+base-lossy/roundrobin: steps=27 moves=20118 rejected=0 lost=3047 hash=3d89a8d96e4de11a err=nil
+dynamic-cross/roundrobin: steps=21 moves=9758 rejected=0 lost=0 hash=29a86cc46a8089b1 err=nil
+dynamic-adversary/roundrobin: steps=62 moves=39009 rejected=0 lost=0 hash=51f1bee87de23b28 err=nil
+fault-chaos/roundrobin: steps=314 moves=234114 rejected=0 lost=20114 hash=9990d09f4aa0d15b err=nil graceful=false
+fault-crash/roundrobin: steps=12 moves=6895 rejected=0 lost=0 hash=a63f3a589c6d5499 err=nil graceful=false
+underlay/roundrobin: steps=862 moves=91997 rejected=207885 lost=0 hash=3542a99fa61f8c61 err=nil
+base/random: steps=11 moves=974 rejected=0 lost=0 hash=e31e07aa661ad489 err=nil
+base-lossy/random: steps=14 moves=1142 rejected=0 lost=170 hash=ba24b56663828d1b err=nil
+dynamic-cross/random: steps=19 moves=968 rejected=0 lost=0 hash=28845ccabc3baf86 err=nil
+dynamic-adversary/random: steps=46 moves=964 rejected=0 lost=0 hash=695d1568009b86dc err=nil
+fault-chaos/random: steps=184 moves=3362 rejected=0 lost=252 hash=0a1fee599fc5bcd1 err=nil graceful=false
+fault-crash/random: steps=11 moves=965 rejected=0 lost=0 hash=13a57f04472c3c6a err=nil graceful=false
+underlay/random: steps=10 moves=253 rejected=387 lost=0 hash=39213da23a77b351 err=nil
+base/local: steps=11 moves=936 rejected=0 lost=0 hash=27422782b91fce41 err=nil
+base-lossy/local: steps=14 moves=1102 rejected=0 lost=166 hash=ef2bd554e7e72f31 err=nil
+dynamic-cross/local: steps=19 moves=936 rejected=0 lost=0 hash=66f41fe4d7a5455f err=nil
+dynamic-adversary/local: steps=45 moves=936 rejected=0 lost=0 hash=9a2ad81082432d3f err=nil
+fault-chaos/local: steps=184 moves=2753 rejected=0 lost=204 hash=3b48ca48609433c8 err=nil graceful=false
+fault-crash/local: steps=11 moves=936 rejected=0 lost=0 hash=9166cbb9c51c2fdc err=nil graceful=false
+underlay/local: steps=9 moves=208 rejected=170 lost=0 hash=d132562d5b132784 err=nil
+base/bandwidth: steps=11 moves=936 rejected=0 lost=0 hash=24d212ba6685218c err=nil
+base-lossy/bandwidth: steps=15 moves=1102 rejected=0 lost=166 hash=9c02e7cff7829313 err=nil
+dynamic-cross/bandwidth: steps=19 moves=936 rejected=0 lost=0 hash=b95e78562b9069ce err=nil
+dynamic-adversary/bandwidth: steps=45 moves=936 rejected=0 lost=0 hash=ce5a968c07a624a1 err=nil
+fault-chaos/bandwidth: steps=184 moves=2764 rejected=0 lost=215 hash=d752603a8c8c7cb5 err=nil graceful=false
+fault-crash/bandwidth: steps=11 moves=936 rejected=0 lost=0 hash=3fbd68faa2e05bc0 err=nil graceful=false
+underlay/bandwidth: steps=8 moves=208 rejected=142 lost=0 hash=49d18fc228474d05 err=nil
+base/global: steps=11 moves=936 rejected=0 lost=0 hash=d2b9d795811129f2 err=nil
+base-lossy/global: steps=14 moves=1102 rejected=0 lost=166 hash=713513021c429d37 err=nil
+dynamic-cross/global: steps=19 moves=936 rejected=0 lost=0 hash=04828daf54f63583 err=nil
+dynamic-adversary/global: steps=45 moves=936 rejected=0 lost=0 hash=411db6a3fe247931 err=nil
+fault-chaos/global: steps=184 moves=2760 rejected=0 lost=211 hash=0466b97462cd3d66 err=nil graceful=false
+fault-crash/global: steps=11 moves=936 rejected=0 lost=0 hash=452c5cfe2600cced err=nil graceful=false
+underlay/global: steps=8 moves=208 rejected=168 lost=0 hash=bec595151032bff4 err=nil
+`

@@ -162,6 +162,10 @@ type Options struct {
 	// satisfied). The §6 encoding extension uses this for "any k of n
 	// coded tokens" semantics.
 	Done func(inst *core.Instance, possess []tokenset.Set) bool
+	// Observer, when non-nil, receives the kernel's per-step callbacks
+	// (internal/trace.StepCollector is the standard consumer). A nil
+	// Observer adds no work to the hot loop.
+	Observer Observer
 }
 
 // ErrStalled is returned when a strategy makes no progress for a full
@@ -182,7 +186,9 @@ func LossRand(seed int64) *rand.Rand {
 }
 
 // Run executes the strategy produced by factory on inst until every want is
-// satisfied or the step limit is reached.
+// satisfied or the step limit is reached. It is the baseline composition
+// over the step-kernel: static capacities, the §6 independent-loss model,
+// no interceptor.
 func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 	if err := inst.Check(); err != nil {
 		return nil, err
@@ -196,10 +202,13 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	lossRng := LossRand(opts.Seed)
 	strat, err := factory(inst, rng)
 	if err != nil {
 		return nil, fmt.Errorf("sim: create strategy: %w", err)
+	}
+	done := opts.Done
+	if done == nil {
+		done = core.Done
 	}
 
 	st := &State{
@@ -208,88 +217,19 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 		Rand:    rng,
 	}
 	res := &Result{Strategy: strat.Name(), Schedule: &core.Schedule{}}
-	// Per-timestep arc usage lives in a dense slice indexed by the graph's
-	// arc IDs and is wiped with clear() — no per-step map churn. accepted
-	// is a scratch buffer reused across steps; the schedule only ever
-	// retains the exact-size delivered slices.
-	used := make([]int, inst.G.NumArcs())
-	var accepted core.Step
-	idle := 0
-	done := opts.Done
-	if done == nil {
-		done = core.Done
+	eng := Engine{
+		MaxSteps:     maxSteps,
+		IdlePatience: opts.IdlePatience,
+		Done:         done,
+		Loss:         RateLossPolicy(opts.LossRate, opts.Seed),
+		Observer:     opts.Observer,
 	}
-
-	for step := 0; step < maxSteps; step++ {
-		if done(inst, st.Possess) {
-			break
-		}
-		st.Step = step
-		proposed := strat.Plan(st)
-		clear(used)
-		accepted = accepted[:0]
-		for _, mv := range proposed {
-			id, ok := admissible(st, used, mv)
-			if !ok {
-				res.Rejected++
-				continue
-			}
-			used[id]++
-			accepted = append(accepted, mv)
-		}
-		if len(accepted) == 0 {
-			idle++
-			if idle > opts.IdlePatience {
-				return res, fmt.Errorf("%w: step %d, strategy %s", ErrStalled, step, strat.Name())
-			}
-			res.Schedule.Append(nil)
-			continue
-		}
-		idle = 0
-		// Apply the §6 loss model: lost moves burned capacity and
-		// bandwidth but deliver nothing and are not recorded, so the
-		// schedule stays valid under the lossless formal model. Loss draws
-		// come from their own stream so the strategy's randomness is
-		// unchanged by the loss setting.
-		delivered := make(core.Step, 0, len(accepted))
-		for _, mv := range accepted {
-			if opts.LossRate > 0 && lossRng.Float64() < opts.LossRate {
-				res.Lost++
-				continue
-			}
-			delivered = append(delivered, mv)
-		}
-		for _, mv := range delivered {
-			st.Deliver(mv)
-		}
-		res.Schedule.Append(delivered)
+	reason, stepAt := eng.Run(inst, strat, st, res)
+	if reason == StopStalled {
+		// A stalled run reports its partial schedule without finalized
+		// summary metrics, matching the engine's historical contract.
+		return res, fmt.Errorf("%w: step %d, strategy %s", ErrStalled, stepAt, strat.Name())
 	}
-
-	res.Completed = done(inst, st.Possess)
-	res.Steps = res.Schedule.Makespan()
-	res.Moves = res.Schedule.Moves() + res.Lost
-	if opts.Prune && res.Completed {
-		res.PrunedMoves = core.Prune(inst, res.Schedule).Moves()
-	}
+	res.Finalize(inst, st.Possess, done, opts.Prune)
 	return res, nil
-}
-
-// admissible checks a single proposed move against the model constraints
-// given the arc usage so far this timestep (a dense slice indexed by arc
-// ID). On success it returns the move's arc ID for the caller to charge.
-func admissible(st *State, used []int, mv core.Move) (int, bool) {
-	if mv.Token < 0 || mv.Token >= st.Inst.NumTokens {
-		return -1, false
-	}
-	id := st.Inst.G.ArcID(mv.From, mv.To)
-	if id < 0 {
-		return -1, false
-	}
-	if used[id] >= st.Inst.G.CapByID(id) {
-		return -1, false
-	}
-	if !st.Possess[mv.From].Has(mv.Token) {
-		return -1, false
-	}
-	return id, true
 }

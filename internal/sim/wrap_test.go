@@ -1,0 +1,98 @@
+package sim_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ocd/internal/competitive"
+	"ocd/internal/core"
+	"ocd/internal/fault"
+	"ocd/internal/heuristics"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/workload"
+)
+
+// named is a trivial strategy for exercising WrapStrategy in isolation.
+type named struct{ name string }
+
+func (n named) Name() string                { return n.name }
+func (n named) Plan(*sim.State) []core.Move { return nil }
+
+func TestWrapStrategy(t *testing.T) {
+	g, err := topology.Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 1)
+
+	t.Run("decorates inner strategy", func(t *testing.T) {
+		inner := func(*core.Instance, *rand.Rand) (sim.Strategy, error) {
+			return named{"inner"}, nil
+		}
+		var sawInst *core.Instance
+		wrapped := sim.WrapStrategy(inner, func(i *core.Instance, s sim.Strategy) (sim.Strategy, error) {
+			sawInst = i
+			return named{"wrap(" + s.Name() + ")"}, nil
+		})
+		s, err := wrapped(inst, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Name(); got != "wrap(inner)" {
+			t.Errorf("wrapped Name() = %q, want wrap(inner)", got)
+		}
+		if sawInst != inst {
+			t.Error("wrap did not receive the run's instance")
+		}
+	})
+
+	t.Run("propagates inner factory error", func(t *testing.T) {
+		boom := errors.New("boom")
+		inner := func(*core.Instance, *rand.Rand) (sim.Strategy, error) { return nil, boom }
+		wrapped := sim.WrapStrategy(inner, func(_ *core.Instance, s sim.Strategy) (sim.Strategy, error) {
+			t.Error("wrap must not run when the inner factory fails")
+			return s, nil
+		})
+		if _, err := wrapped(inst, rand.New(rand.NewSource(1))); !errors.Is(err, boom) {
+			t.Errorf("error = %v, want inner factory error", err)
+		}
+	})
+}
+
+// TestWrapperNameComposition pins the facade-name composition of the two
+// production wrappers: experiment tables key on these exact strings, so a
+// change here silently re-keys every downstream table.
+func TestWrapperNameComposition(t *testing.T) {
+	g, err := topology.Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 1)
+	rng := rand.New(rand.NewSource(1))
+
+	retry, err := fault.WithRetry(heuristics.RoundRobin, fault.RetryOptions{})(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := retry.Name(); got != "retry(roundrobin)" {
+		t.Errorf("retry wrapper Name() = %q, want retry(roundrobin)", got)
+	}
+
+	oracle, err := competitive.Oracle(heuristics.RoundRobin)(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.Name(); got != "oracle(roundrobin)" {
+		t.Errorf("oracle wrapper Name() = %q, want oracle(roundrobin)", got)
+	}
+
+	nested, err := competitive.Oracle(fault.WithRetry(heuristics.RoundRobin, fault.RetryOptions{}))(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nested.Name(); got != "oracle(retry(roundrobin))" {
+		t.Errorf("nested wrapper Name() = %q, want oracle(retry(roundrobin))", got)
+	}
+}

@@ -166,54 +166,77 @@ func (n *Network) Run(inst *core.Instance, factory sim.Factory, opts sim.Options
 		return nil, fmt.Errorf("underlay: create strategy: %w", err)
 	}
 
-	possess := inst.InitialPossession()
+	st := &sim.State{Inst: inst, Possess: inst.InitialPossession(), Rand: rng}
 	res := &sim.Result{Strategy: strat.Name(), Schedule: &core.Schedule{}}
-	idle := 0
-	physUsed := make(map[[2]int]int)
-	overlayUsed := make(map[[2]int]int)
-
-	for step := 0; step < maxSteps; step++ {
-		if core.Done(inst, possess) {
-			break
-		}
-		st := &sim.State{Inst: inst, Possess: possess, Step: step, Rand: rng}
-		proposed := strat.Plan(st)
-		for k := range physUsed {
-			delete(physUsed, k)
-		}
-		for k := range overlayUsed {
-			delete(overlayUsed, k)
-		}
-		var accepted core.Step
-		for _, mv := range proposed {
-			if !n.admit(inst, possess, physUsed, overlayUsed, mv) {
-				res.Rejected++
-				continue
-			}
-			accepted = append(accepted, mv)
-		}
-		if len(accepted) == 0 {
-			idle++
-			if idle > opts.IdlePatience {
-				return res, fmt.Errorf("%w: step %d on shared underlay", sim.ErrStalled, step)
-			}
-			res.Schedule.Append(accepted)
-			continue
-		}
-		idle = 0
-		for _, mv := range accepted {
-			possess[mv.To].Add(mv.Token)
-		}
-		res.Schedule.Append(accepted)
+	// The kernel's own admission covers token range, overlay arc existence,
+	// overlay capacity, and possession; the Admit hook layers the shared
+	// physical-link charging on top. This engine deliberately ignores
+	// opts.Done and opts.LossRate, as it always has: completion is the
+	// static predicate and transport is lossless.
+	eng := sim.Engine{
+		MaxSteps:     maxSteps,
+		IdlePatience: opts.IdlePatience,
+		Done:         core.Done,
+		Admit:        n.newAdmitter().admit,
+		Observer:     opts.Observer,
 	}
-
-	res.Completed = core.Done(inst, possess)
-	res.Steps = res.Schedule.Makespan()
-	res.Moves = res.Schedule.Moves()
-	if opts.Prune && res.Completed {
-		res.PrunedMoves = core.Prune(inst, res.Schedule).Moves()
+	reason, stepAt := eng.Run(inst, strat, st, res)
+	if reason == sim.StopStalled {
+		return res, fmt.Errorf("%w: step %d on shared underlay", sim.ErrStalled, stepAt)
 	}
+	res.Finalize(inst, st.Possess, core.Done, opts.Prune)
 	return res, nil
+}
+
+// admitter charges accepted moves against the physical links their overlay
+// arc traverses. Physical usage lives in a dense slice indexed by the
+// physical graph's arc IDs, cleared lazily on the first admission of each
+// step; paths are pre-resolved to physical arc IDs per overlay arc ID. One
+// admitter serves one run — Network itself stays read-only and safe for
+// concurrent runs.
+type admitter struct {
+	pathIDs  [][]int32 // overlay arc ID → physical arc IDs along its route
+	physCaps []int
+	physUsed []int
+	lastStep int
+}
+
+func (n *Network) newAdmitter() *admitter {
+	a := &admitter{
+		pathIDs:  make([][]int32, n.Overlay.NumArcs()),
+		physCaps: n.Phys.CapsByID(),
+		physUsed: make([]int, n.Phys.NumArcs()),
+		lastStep: -1,
+	}
+	//ocd:orderinvariant — each path lands in its own dense slot.
+	for key, path := range n.paths {
+		ids := make([]int32, len(path))
+		for i, pa := range path {
+			ids[i] = int32(n.Phys.ArcID(pa[0], pa[1]))
+		}
+		a.pathIDs[n.Overlay.ArcID(key[0], key[1])] = ids
+	}
+	return a
+}
+
+// admit is the kernel Admit hook: every physical link along the overlay
+// arc's route must have residual capacity, and an accepted move charges
+// them all.
+func (a *admitter) admit(step int, _ core.Move, id int) bool {
+	if step != a.lastStep {
+		clear(a.physUsed)
+		a.lastStep = step
+	}
+	path := a.pathIDs[id]
+	for _, pid := range path {
+		if a.physUsed[pid] >= a.physCaps[pid] {
+			return false
+		}
+	}
+	for _, pid := range path {
+		a.physUsed[pid]++
+	}
+	return true
 }
 
 // admit checks one move against possession, overlay capacity, and the

@@ -528,6 +528,32 @@ func EncodeScheduleJSON(w io.Writer, sched *Schedule) error { return trace.Encod
 // DecodeScheduleJSON reads a schedule from JSON.
 func DecodeScheduleJSON(r io.Reader) (*Schedule, error) { return trace.DecodeSchedule(r) }
 
+// Step tracing — the simulation kernel's Observer hooks and their standard
+// consumer. Attach an Observer through RunOptions.Observer; every engine
+// (baseline, dynamic, fault, underlay) feeds the same callbacks.
+type (
+	// Observer receives per-step callbacks from the simulation kernel; a
+	// nil Observer costs nothing.
+	Observer = sim.Observer
+	// StepRecord is one condensed timestep of a step trace.
+	StepRecord = trace.StepRecord
+	// StepCollector is the standard Observer: one StepRecord per timestep.
+	StepCollector = trace.StepCollector
+)
+
+// NewStepCollector builds a per-step trace collector for runs over inst.
+func NewStepCollector(inst *Instance) *StepCollector { return trace.NewStepCollector(inst) }
+
+// EncodeStepTraceJSONL writes step records as JSONL (one object per line).
+func EncodeStepTraceJSONL(w io.Writer, recs []StepRecord) error {
+	return trace.EncodeStepTraceJSONL(w, recs)
+}
+
+// DecodeStepTraceJSONL reads a JSONL step trace back, validating structure.
+func DecodeStepTraceJSONL(r io.Reader) ([]StepRecord, error) {
+	return trace.DecodeStepTraceJSONL(r)
+}
+
 func sweepConfig(transitStub bool, tokens, seeds, repeats int, baseSeed int64) experiments.SweepConfig {
 	kind := experiments.RandomGraph
 	if transitStub {
