@@ -5,12 +5,19 @@
 // lost/retransmitted/wasted moves, and makespan inflation over a
 // fault-free baseline. The crash-source scenario crash-stops the sole
 // holder mid-distribution to demonstrate graceful termination with an
-// explicit unsatisfiable-receiver report.
+// explicit unsatisfiable-receiver report. The partition scenario sweeps
+// k-way partition heal times; the churn scenario sweeps membership leave
+// rates (members lose all state and rejoin empty). Both support -monitor
+// (kernel invariant monitor; any violation fails the run) and -journal
+// (crash-safety journal: a killed sweep re-invoked with the same journal
+// resumes from its completed cells with byte-identical output).
 //
 // Examples:
 //
 //	ocdchaos -n 30 -tokens 24 -intensities 0,0.25,0.5,1 -heuristics local,retry-local
 //	ocdchaos -scenario crash-source -n 30 -tokens 60 -crash-at 2
+//	ocdchaos -scenario partition -k 2 -heal 0,4,16,-1 -monitor
+//	ocdchaos -scenario churn -churn-rates 0.01,0.05,0.1 -rejoin 0.5 -journal sweep.jsonl
 //	ocdchaos -csv
 package main
 
@@ -35,27 +42,34 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ocdchaos", flag.ContinueOnError)
 	var (
-		scenario    = fs.String("scenario", "sweep", "scenario: sweep | crash-source")
+		scenario    = fs.String("scenario", "sweep", "scenario: sweep | crash-source | partition | churn")
 		n           = fs.Int("n", 30, "number of vertices")
 		tokens      = fs.Int("tokens", 24, "number of tokens in the file")
 		seed        = fs.Int64("seed", 1, "random seed (topology, fault plan, and strategies)")
 		intensities = fs.String("intensities", "0,0.25,0.5,0.75,1", "comma-separated fault intensities in [0,1] (sweep)")
-		heuristics  = fs.String("heuristics", "local,bandwidth,retry-local", "comma-separated heuristic names; retry-<name> wraps in the backoff sender (sweep)")
+		heuristics  = fs.String("heuristics", "local,bandwidth,retry-local", "comma-separated heuristic names; retry-<name> wraps in the backoff sender")
 		crashAt     = fs.Int("crash-at", 2, "step at which the sole source crash-stops (crash-source)")
+		k           = fs.Int("k", 2, "number of partition sides (partition)")
+		heal        = fs.String("heal", "0,4,16,-1", "comma-separated partition heal times in steps, -1 = never heals (partition)")
+		churnRates  = fs.String("churn-rates", "0,0.02,0.05,0.1", "comma-separated per-step leave probabilities (churn)")
+		rejoin      = fs.Float64("rejoin", 0.5, "per-step rejoin probability for absent members, 0 = departures are permanent (churn)")
+		journal     = fs.String("journal", "", "crash-safety journal path; re-invoking with the same journal resumes from completed cells (partition, churn)")
+		monitor     = fs.Bool("monitor", false, "attach the kernel invariant monitor; any violation fails the run (partition, churn)")
 		csv         = fs.Bool("csv", false, "emit CSV instead of the ASCII table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	xs, err := parseIntensities(*intensities)
+	xs, err := parseFloats(*intensities)
 	if err != nil {
-		return err
+		return fmt.Errorf("-intensities: %w", err)
 	}
 	names := splitNames(*heuristics)
 	if err := validateFlags(*n, *tokens, *crashAt, xs, names); err != nil {
 		return err
 	}
+	sweepOpts := ocd.FaultSweepOptions{JournalPath: *journal, Monitor: *monitor}
 
 	var tab *ocd.Table
 	switch *scenario {
@@ -63,8 +77,37 @@ func run(args []string, stdout io.Writer) error {
 		tab, err = ocd.ExperimentChaos(*n, *tokens, xs, names, *seed)
 	case "crash-source":
 		tab, err = ocd.ExperimentCrashedSource(*n, *tokens, *crashAt, *seed)
+	case "partition":
+		var heals []int
+		if heals, err = parseInts(*heal); err != nil {
+			return fmt.Errorf("-heal: %w", err)
+		}
+		if len(heals) == 0 {
+			return fmt.Errorf("-heal is empty")
+		}
+		if *k < 2 {
+			return fmt.Errorf("-k must be at least 2, got %d", *k)
+		}
+		tab, err = ocd.ExperimentPartition(*n, *tokens, *k, heals, names, *seed, sweepOpts)
+	case "churn":
+		var rates []float64
+		if rates, err = parseFloats(*churnRates); err != nil {
+			return fmt.Errorf("-churn-rates: %w", err)
+		}
+		if len(rates) == 0 {
+			return fmt.Errorf("-churn-rates is empty")
+		}
+		for _, r := range rates {
+			if r < 0 || r > 1 {
+				return fmt.Errorf("-churn-rates entries must be in [0,1], got %v", r)
+			}
+		}
+		if *rejoin < 0 || *rejoin > 1 {
+			return fmt.Errorf("-rejoin must be in [0,1], got %v", *rejoin)
+		}
+		tab, err = ocd.ExperimentChurn(*n, *tokens, rates, *rejoin, names, *seed, sweepOpts)
 	default:
-		return fmt.Errorf("unknown scenario %q (have sweep, crash-source)", *scenario)
+		return fmt.Errorf("unknown scenario %q (have sweep, crash-source, partition, churn)", *scenario)
 	}
 	if err != nil {
 		return err
@@ -82,7 +125,7 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func parseIntensities(s string) ([]float64, error) {
+func parseFloats(s string) ([]float64, error) {
 	var xs []float64
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -91,7 +134,23 @@ func parseIntensities(s string) ([]float64, error) {
 		}
 		x, err := strconv.ParseFloat(part, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad intensity %q: %w", part, err)
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
+		}
+		xs = append(xs, x)
+	}
+	return xs, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var xs []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		x, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
 		}
 		xs = append(xs, x)
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,6 +45,43 @@ func TestCSVOutput(t *testing.T) {
 	}
 }
 
+func TestPartitionScenario(t *testing.T) {
+	out := runOK(t, "-scenario", "partition", "-n", "12", "-tokens", "6",
+		"-k", "2", "-heal", "0,-1", "-heuristics", "local", "-monitor")
+	for _, want := range []string{"liveness", "never", "invariant monitor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestChurnScenario(t *testing.T) {
+	out := runOK(t, "-scenario", "churn", "-n", "12", "-tokens", "6",
+		"-churn-rates", "0,0.05", "-rejoin", "0.5", "-heuristics", "local", "-monitor")
+	for _, want := range []string{"leave", "departures", "rejoin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestJournalResumeMatchesCleanRun(t *testing.T) {
+	args := []string{"-scenario", "churn", "-n", "12", "-tokens", "6",
+		"-churn-rates", "0,0.05,0.1", "-heuristics", "local,bandwidth", "-seed", "5"}
+	clean := runOK(t, args...)
+
+	// First pass journals every cell; the "resumed" pass must replay out of
+	// the journal to byte-identical output.
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	withJournal := append(args, "-journal", journal)
+	if runOK(t, withJournal...) != clean {
+		t.Error("journaled run diverged from the plain run")
+	}
+	if resumed := runOK(t, withJournal...); resumed != clean {
+		t.Error("resumed run diverged from the plain run")
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	bad := [][]string{
 		{"-n", "0"},
@@ -55,6 +93,12 @@ func TestFlagValidation(t *testing.T) {
 		{"-heuristics", ""},
 		{"-heuristics", "nope"},
 		{"-scenario", "nope"},
+		{"-scenario", "partition", "-k", "1"},
+		{"-scenario", "partition", "-heal", ""},
+		{"-scenario", "partition", "-heal", "abc"},
+		{"-scenario", "churn", "-churn-rates", ""},
+		{"-scenario", "churn", "-churn-rates", "1.5"},
+		{"-scenario", "churn", "-rejoin", "2"},
 	}
 	for _, args := range bad {
 		var out bytes.Buffer

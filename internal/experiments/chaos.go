@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -46,11 +47,15 @@ type chaosCell struct {
 	err error
 }
 
-// outcome folds a faulted run into one word for the table.
+// outcome folds a faulted run into one word for the table. Only a genuine
+// stall reads as "stalled"; any other error is the cell's failure and must
+// surface as one (see the drivers), never masquerade as a stall.
 func outcome(res *fault.Result, err error) string {
 	switch {
-	case err != nil:
+	case errors.Is(err, sim.ErrStalled):
 		return "stalled"
+	case err != nil:
+		return "error"
 	case res.Completed:
 		return "completed"
 	case res.Graceful:
@@ -132,8 +137,10 @@ func Chaos(n, tokens int, intensities []float64, heuristicNames []string, seed i
 					plan := fault.AtIntensity(x, cellSeed, 0) // vertex 0 is the source: protect it
 					f, _ := chaosFactory(name, plan)          // validated above
 					res, err := fault.Run(inst, f, plan, sim.Options{Seed: cellSeed, IdlePatience: 40})
-					if res == nil {
-						return chaosCell{}, fmt.Errorf("intensity %.2f: %v", x, err)
+					// A stall is row data; anything else fails the cell so it
+					// reaches the process exit code.
+					if err != nil && !errors.Is(err, sim.ErrStalled) {
+						return chaosCell{}, fmt.Errorf("intensity %.2f: %w", x, err)
 					}
 					return chaosCell{res: res, err: err}, nil
 				},
@@ -200,7 +207,7 @@ func CrashedSource(n, tokens, crashAt int, seed int64) (*Table, error) {
 					}},
 				}
 				res, err := fault.Run(inst, f, plan, sim.Options{Seed: cellSeed, IdlePatience: 40})
-				if res == nil {
+				if err != nil && !errors.Is(err, sim.ErrStalled) {
 					return chaosCell{}, err
 				}
 				return chaosCell{res: res, err: err}, nil

@@ -1,0 +1,259 @@
+package experiments
+
+// Partition and churn sweeps: the robustness-layer drivers. Both sweep a
+// fault-severity axis × heuristic under the deterministic partition/churn
+// models, optionally with the kernel invariant monitor attached (any
+// violation fails the cell, and therefore the process) and with a crash-
+// safety journal so a killed sweep resumes from its completed cells.
+
+import (
+	"errors"
+	"fmt"
+
+	"ocd/internal/core"
+	"ocd/internal/fault"
+	"ocd/internal/runner"
+	"ocd/internal/sim"
+	"ocd/internal/topology"
+	"ocd/internal/trace"
+	"ocd/internal/workload"
+)
+
+// FaultSweepOptions configures the partition/churn sweeps' harness ring —
+// everything orthogonal to the experimental axes.
+type FaultSweepOptions struct {
+	// JournalPath, when non-empty, journals completed cells to this JSONL
+	// file and resumes from it (see runner.Journal).
+	JournalPath string
+	// Monitor attaches the kernel invariant monitor to every run; a
+	// violation fails the cell.
+	Monitor bool
+	// Parallelism is forwarded to the runner. Zero means GOMAXPROCS.
+	Parallelism int
+}
+
+// faultRow is one sweep cell's outcome. Every field is JSON-round-trippable
+// so journaled cells resume to byte-identical tables.
+type faultRow struct {
+	Outcome    string  `json:"outcome"`
+	Liveness   string  `json:"liveness"`
+	Delivered  float64 `json:"delivered"`
+	Steps      int     `json:"steps"`
+	Moves      int     `json:"moves"`
+	Lost       int     `json:"lost"`
+	Retrans    int     `json:"retrans"`
+	Wasted     int     `json:"wasted"`
+	Crashes    int     `json:"crashes"`
+	Departures int     `json:"departures"`
+}
+
+// runFaultCell executes one sweep cell: build the plan, optionally attach
+// the monitor, run, classify. Genuine failures (anything but a stall, plus
+// any invariant violation) fail the cell.
+func runFaultCell(c sweepCell) (faultRow, error) {
+	plan := c.plan()
+	f, err := chaosFactory(c.heuristic, plan)
+	if err != nil {
+		return faultRow{}, err
+	}
+	opts := sim.Options{Seed: c.seed, IdlePatience: 40}
+	var mon *trace.InvariantMonitor
+	if c.monitor {
+		mon = trace.NewInvariantMonitor(c.inst, trace.InvariantConfig{
+			Down: plan.DownAt, Capacity: plan.EffectiveCapacity,
+		})
+		opts.Observer = mon
+	}
+	res, err := fault.Run(c.inst, f, plan, opts)
+	if err != nil && !errors.Is(err, sim.ErrStalled) {
+		return faultRow{}, err
+	}
+	if mon != nil {
+		if merr := mon.Err(); merr != nil {
+			return faultRow{}, merr
+		}
+	}
+	return faultRow{
+		Outcome:    outcome(res, err),
+		Liveness:   string(res.Liveness),
+		Delivered:  res.DeliveredFraction,
+		Steps:      res.Steps,
+		Moves:      res.Moves,
+		Lost:       res.Lost,
+		Retrans:    res.Retransmissions,
+		Wasted:     res.WastedMoves,
+		Crashes:    res.Crashes,
+		Departures: res.Departures,
+	}, nil
+}
+
+// sweepCell bundles runFaultCell's inputs.
+type sweepCell struct {
+	inst      *core.Instance
+	heuristic string
+	seed      int64
+	monitor   bool
+	plan      func() fault.Plan
+}
+
+// partitionStartP is the per-step episode start probability of the
+// partition sweep. Makespans here are short (single-digit steps on the
+// default workloads), so a modest rate would often let a run finish before
+// any episode begins and the heal-time axis would read as eight identical
+// baselines; a high rate guarantees cuts bite within the first steps.
+const partitionStartP = 0.5
+
+// Partition sweeps partition heal time × heuristic: the overlay is split
+// into k sides by the seeded RandomPartitions model, cross-side arcs sever
+// during episodes, and each column of the sweep gives the episodes a
+// different heal time (negative: the first episode never heals). The
+// liveness column separates "stalled but satisfiable once healed" from
+// proven unsatisfiability.
+func Partition(n, tokens, k int, healAfters []int, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
+	g, err := topology.Random(n, topology.DefaultCaps, seed)
+	if err != nil {
+		return nil, err
+	}
+	inst := workload.SingleFile(g, tokens)
+	t := &Table{
+		Title: fmt.Sprintf("partition sweep: heal time × heuristic (n=%d, %d tokens, k=%d sides)",
+			n, tokens, k),
+		Columns: []string{"heal", "heuristic", "outcome", "liveness", "delivered",
+			"steps", "moves", "lost", "retrans"},
+	}
+	for _, name := range heuristicNames {
+		if _, err := chaosFactory(name, fault.Plan{}); err != nil {
+			return nil, err
+		}
+	}
+
+	var cells []runner.Cell[faultRow]
+	for hi, heal := range healAfters {
+		heal := heal
+		for _, name := range heuristicNames {
+			name := name
+			cells = append(cells, runner.Cell[faultRow]{
+				Key:     fmt.Sprintf("heal%d=%d/%s", hi, heal, name),
+				SeedKey: "partition-workload",
+				Run: func(cellSeed int64) (faultRow, error) {
+					return runFaultCell(sweepCell{
+						inst: inst, heuristic: name, seed: cellSeed, monitor: opts.Monitor,
+						plan: func() fault.Plan {
+							return fault.Plan{
+								Partitions: fault.NewRandomPartitions(k, partitionStartP, heal, cellSeed),
+							}
+						},
+					})
+				},
+			})
+		}
+	}
+	rows, err := mapWithJournal(seed, cells, opts)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+
+	idx := 0
+	for _, heal := range healAfters {
+		label := fmt.Sprintf("%d", heal)
+		if heal < 0 {
+			label = "never"
+		}
+		for _, name := range heuristicNames {
+			r := rows[idx]
+			idx++
+			t.AddRow(label, name, r.Outcome, r.Liveness,
+				fmt.Sprintf("%.0f%%", r.Delivered*100),
+				r.Steps, r.Moves, r.Lost, r.Retrans)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("RandomPartitions splits the overlay into %d seeded sides; episodes start with p=%.2f per step and last the heal time", k, partitionStartP),
+		"liveness 'healable' marks runs stalled behind transient cuts — satisfiable once healed; 'unsatisfiable' marks proven dead wants")
+	if opts.Monitor {
+		t.Notes = append(t.Notes, "kernel invariant monitor attached: any violation fails the sweep")
+	}
+	return t, nil
+}
+
+// ChurnSweep sweeps membership churn rate × heuristic: members leave with
+// the per-step probability of the column (losing all state) and rejoin
+// empty with probability rejoinP; the source is protected. rejoinP of 0
+// makes every departure permanent.
+func ChurnSweep(n, tokens int, leaveRates []float64, rejoinP float64, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
+	g, err := topology.Random(n, topology.DefaultCaps, seed)
+	if err != nil {
+		return nil, err
+	}
+	inst := workload.SingleFile(g, tokens)
+	t := &Table{
+		Title: fmt.Sprintf("churn sweep: leave rate × heuristic (n=%d, %d tokens, rejoin %.2f)",
+			n, tokens, rejoinP),
+		Columns: []string{"leave", "heuristic", "outcome", "liveness", "delivered",
+			"steps", "departures", "retrans", "wasted"},
+	}
+	for _, name := range heuristicNames {
+		if _, err := chaosFactory(name, fault.Plan{}); err != nil {
+			return nil, err
+		}
+	}
+
+	var cells []runner.Cell[faultRow]
+	for li, leave := range leaveRates {
+		leave := leave
+		for _, name := range heuristicNames {
+			name := name
+			cells = append(cells, runner.Cell[faultRow]{
+				Key:     fmt.Sprintf("leave%d=%.3f/%s", li, leave, name),
+				SeedKey: "churn-workload",
+				Run: func(cellSeed int64) (faultRow, error) {
+					return runFaultCell(sweepCell{
+						inst: inst, heuristic: name, seed: cellSeed, monitor: opts.Monitor,
+						plan: func() fault.Plan {
+							return fault.Plan{
+								Churn: fault.NewRandomChurn(leave, rejoinP, cellSeed, 0),
+							}
+						},
+					})
+				},
+			})
+		}
+	}
+	rows, err := mapWithJournal(seed, cells, opts)
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+
+	idx := 0
+	for _, leave := range leaveRates {
+		for _, name := range heuristicNames {
+			r := rows[idx]
+			idx++
+			t.AddRow(fmt.Sprintf("%.3f", leave), name, r.Outcome, r.Liveness,
+				fmt.Sprintf("%.0f%%", r.Delivered*100),
+				r.Steps, r.Departures, r.Retrans, r.Wasted)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"departing members lose everything they downloaded and rejoin empty; the source (vertex 0) never leaves",
+		"liveness 'healable' marks runs stalled behind transient absences; 'unsatisfiable' marks proven dead wants")
+	if opts.Monitor {
+		t.Notes = append(t.Notes, "kernel invariant monitor attached: any violation fails the sweep")
+	}
+	return t, nil
+}
+
+// mapWithJournal forwards a sweep to the runner, wiring up the optional
+// crash-safety journal.
+func mapWithJournal(seed int64, cells []runner.Cell[faultRow], opts FaultSweepOptions) ([]faultRow, error) {
+	ropts := runner.Options{Parallelism: opts.Parallelism}
+	if opts.JournalPath != "" {
+		j, err := runner.OpenJournal(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		ropts.Journal = j
+	}
+	return runner.Map(seed, cells, ropts)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPartitionSweepSmall(t *testing.T) {
+	tab, err := Partition(14, 6, 2, []int{0, 4, -1}, []string{"local", "retry-local"}, 3,
+		FaultSweepOptions{Monitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.ASCII()
+	for _, want := range []string{"heal", "liveness", "never", "invariant monitor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in table:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows) != 6 {
+		t.Errorf("got %d rows, want 3 heal times × 2 heuristics", len(tab.Rows))
+	}
+}
+
+func TestChurnSweepSmall(t *testing.T) {
+	tab, err := ChurnSweep(14, 6, []float64{0, 0.05}, 0.5, []string{"local"}, 3,
+		FaultSweepOptions{Monitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.ASCII()
+	for _, want := range []string{"leave", "departures", "rejoin empty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in table:\n%s", want, out)
+		}
+	}
+	// The zero-churn column must complete: churn at rate 0 is a no-op plan.
+	if !strings.Contains(out, "completed") {
+		t.Errorf("zero-churn column did not complete:\n%s", out)
+	}
+}
+
+func TestFaultSweepsRejectUnknownHeuristic(t *testing.T) {
+	if _, err := Partition(10, 4, 2, []int{0}, []string{"nope"}, 1, FaultSweepOptions{}); err == nil {
+		t.Error("partition sweep accepted an unknown heuristic")
+	}
+	if _, err := ChurnSweep(10, 4, []float64{0}, 0.5, []string{"nope"}, 1, FaultSweepOptions{}); err == nil {
+		t.Error("churn sweep accepted an unknown heuristic")
+	}
+}
+
+// TestChurnSweepParallelMatchesSerial is the parallel-determinism guarantee
+// for the churn axis: every cell derives its randomness from (base seed,
+// cell key) alone, so the worker count must not show up in the table. Run
+// under -race this also exercises the sweep's concurrency for data races.
+func TestChurnSweepParallelMatchesSerial(t *testing.T) {
+	run := func(parallelism int) *Table {
+		t.Helper()
+		tab, err := ChurnSweep(14, 6, []float64{0, 0.05, 0.1}, 0.5,
+			[]string{"local", "bandwidth"}, 7, FaultSweepOptions{Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel churn sweep diverged from serial:\nserial:\n%s\nparallel:\n%s",
+			serial.ASCII(), parallel.ASCII())
+	}
+}
+
+func TestPartitionSweepJournalResume(t *testing.T) {
+	heals := []int{0, 4}
+	names := []string{"local"}
+	clean, err := Partition(14, 6, 2, heals, names, 5, FaultSweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "partition.jsonl")
+	first, err := Partition(14, 6, 2, heals, names, 5, FaultSweepOptions{JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Partition(14, 6, 2, heals, names, 5, FaultSweepOptions{JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, first) || !reflect.DeepEqual(clean, resumed) {
+		t.Fatal("journaled partition sweep diverged from the plain run")
+	}
+}

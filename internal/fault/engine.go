@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -21,6 +22,25 @@ type Receiver struct {
 	Undeliverable int
 }
 
+// Liveness classifies a run's terminal state beyond the binary Completed:
+// faults introduce the third outcome — blocked now, satisfiable later.
+type Liveness string
+
+const (
+	// LivenessComplete: every want was satisfied.
+	LivenessComplete Liveness = "complete"
+	// LivenessHealable: wants remain, but at least one missing token is
+	// still held by a live (or transiently absent) vertex that can reach
+	// its receiver once transient partitions heal and churned members
+	// rejoin — the run stalled or timed out on a recoverable fault, it
+	// did not fail.
+	LivenessHealable Liveness = "healable"
+	// LivenessUnsatisfiable: every remaining missing token is provably
+	// undeliverable — extinct or permanently cut off. Healing changes
+	// nothing.
+	LivenessUnsatisfiable Liveness = "unsatisfiable"
+)
+
 // Result summarizes a faulted run: the base engine metrics plus the
 // degradation report.
 type Result struct {
@@ -33,6 +53,10 @@ type Result struct {
 	// mutually exclusive; a run that is neither hit the step limit or the
 	// IdlePatience stall.
 	Graceful bool
+	// Liveness distinguishes a run stalled behind transient faults
+	// (healable — satisfiable once partitions heal and members rejoin)
+	// from one whose remaining wants are proven undeliverable.
+	Liveness Liveness
 	// Unsatisfiable lists the receivers with undeliverable wants, in
 	// vertex order.
 	Unsatisfiable []Receiver
@@ -46,8 +70,11 @@ type Result struct {
 	// crash state wipe.
 	WastedMoves int
 	// Crashes counts up→down transitions; DownSteps the total vertex-down
-	// timesteps.
+	// timesteps. Churn departures count separately below.
 	Crashes, DownSteps int
+	// Departures counts churn leave events (each wipes the member's
+	// state); AwaySteps the total member-absent timesteps.
+	Departures, AwaySteps int
 }
 
 // Run executes the strategy produced by factory on inst under the fault
@@ -95,6 +122,16 @@ func Run(inst *core.Instance, factory sim.Factory, plan Plan, opts sim.Options) 
 		res.Steps = res.Schedule.Makespan()
 		res.Moves = res.Schedule.Moves() + res.Lost
 		res.DeliveredFraction = deliveredFraction(inst, st.Possess)
+		if res.Completed {
+			res.Liveness = LivenessComplete
+		} else {
+			// Classification needs the undeliverable sets current as of
+			// the final step: detection normally runs only on crash
+			// events, but permanent partitions shift reachability with no
+			// vertex transition to trigger it.
+			detect(inst, st.Possess, fk.perm, fk.permSevered, fk.unsat)
+			res.Liveness = classifyLiveness(inst, st.Possess, fk.unsat)
+		}
 		res.Unsatisfiable = receiverReports(inst, st.Possess, fk.unsat)
 		if opts.Prune && res.Completed {
 			res.PrunedMoves = core.Prune(inst, res.Schedule).Moves()
@@ -120,10 +157,42 @@ func Run(inst *core.Instance, factory sim.Factory, plan Plan, opts sim.Options) 
 	case sim.StopStalled:
 		// Unlike the other engines, a faulted run finalizes its metrics
 		// even on a stall — partial degradation reports are the point.
-		return finish(false), fmt.Errorf("%w: step %d under %s", sim.ErrStalled, stepAt, plan.Name())
+		err := fmt.Errorf("%w: step %d under %s", sim.ErrStalled, stepAt, plan.Name())
+		if fs, ok := strat.(sim.Failer); ok {
+			if ferr := fs.Err(); ferr != nil {
+				// The stall has a named cause — e.g. the retry wrapper
+				// exhausted its attempts. Keep ErrStalled as the head
+				// error so errors.Is classification is unchanged.
+				err = errors.Join(err, ferr)
+			}
+		}
+		return finish(false), err
 	default:
 		return finish(false), nil
 	}
+}
+
+// classifyLiveness folds the per-receiver undeliverable sets into the
+// run-level verdict: healable when any remaining missing token is not
+// proven undeliverable (so healing transient faults could still satisfy
+// it), unsatisfiable when every one is. The classification reads the raw
+// want sets, not a custom Done predicate.
+func classifyLiveness(inst *core.Instance, possess []tokenset.Set, unsat []tokenset.Set) Liveness {
+	missingAny := false
+	for v := range possess {
+		missing := inst.Want[v].Difference(possess[v])
+		if missing.Empty() {
+			continue
+		}
+		missingAny = true
+		if !missing.SubsetOf(unsat[v]) {
+			return LivenessHealable
+		}
+	}
+	if !missingAny {
+		return LivenessComplete
+	}
+	return LivenessUnsatisfiable
 }
 
 // faultKernel is the fault plan's hook bundle: one value implements the
@@ -146,6 +215,10 @@ type faultKernel struct {
 	everDelivered []tokenset.Set
 	unsat         []tokenset.Set
 	needDetect    bool
+	// step is the current timestep, recorded by PreStep so the
+	// permanently-severed closure handed to detect queries the partition
+	// model at the right moment (permanence is monotone in step).
+	step int
 
 	// lossK holds the per-arc draw index k within the current step; the
 	// plan's loss model replaces Options.LossRate and every accepted move
@@ -185,30 +258,55 @@ func newFaultKernel(inst *core.Instance, plan Plan, res *Result) *faultKernel {
 	return fk
 }
 
-// PreStep implements sim.StepInterceptor: crash transitions first — a
-// vertex that is down this step cannot send, receive, or plan, and its
-// state-loss policy applies at the moment it goes down — then reachability
-// detection if any crash occurred.
+// permSevered is the arc-level analogue of the perm vertex flags, handed
+// to detect as a closure: permanence is monotone in step, so querying at
+// the current step sees every cut that will never heal.
+func (f *faultKernel) permSevered(from, to int) bool {
+	return f.plan.Partitions.Permanent(f.step, from, to)
+}
+
+// PreStep implements sim.StepInterceptor: fault transitions first — a
+// vertex that is down this step (crashed or churned away) cannot send,
+// receive, or plan, and its state-loss policy applies at the moment it
+// goes down — then reachability detection if any transition occurred.
+// When a crash and a departure coincide, churn semantics win: leaving the
+// overlay always wipes everything, whatever the crash StateLoss says.
 func (f *faultKernel) PreStep(step int, st *sim.State) {
+	f.step = step
 	wiped := false
 	for v := range f.down {
-		f.down[v] = f.plan.Crashes.Down(step, v)
-		if f.down[v] {
+		crashed := f.plan.Crashes.Down(step, v)
+		away := f.plan.Churn.Away(step, v)
+		f.down[v] = crashed || away
+		if crashed {
 			f.res.DownSteps++
 			f.perm[v] = f.perm[v] || f.plan.Crashes.Permanent(step, v)
 		}
+		if away {
+			if !crashed {
+				f.res.AwaySteps++
+			}
+			f.perm[v] = f.perm[v] || f.plan.Churn.Gone(step, v)
+		}
 		if f.down[v] && !f.prevDown[v] {
-			f.res.Crashes++
 			f.needDetect = true
-			switch f.plan.StateLoss {
-			case DropDownloads:
-				f.res.WastedMoves += st.Possess[v].DifferenceCount(f.inst.Have[v])
-				st.Possess[v].CopyFrom(f.inst.Have[v])
-				wiped = true
-			case DropAll:
+			if away {
+				f.res.Departures++
 				f.res.WastedMoves += st.Possess[v].DifferenceCount(f.inst.Have[v])
 				st.Possess[v].Clear()
 				wiped = true
+			} else {
+				f.res.Crashes++
+				switch f.plan.StateLoss {
+				case DropDownloads:
+					f.res.WastedMoves += st.Possess[v].DifferenceCount(f.inst.Have[v])
+					st.Possess[v].CopyFrom(f.inst.Have[v])
+					wiped = true
+				case DropAll:
+					f.res.WastedMoves += st.Possess[v].DifferenceCount(f.inst.Have[v])
+					st.Possess[v].Clear()
+					wiped = true
+				}
 			}
 		}
 		f.prevDown[v] = f.down[v]
@@ -217,7 +315,7 @@ func (f *faultKernel) PreStep(step int, st *sim.State) {
 		st.InvalidateCounts()
 	}
 	if f.needDetect {
-		detect(f.inst, st.Possess, f.perm, f.unsat)
+		detect(f.inst, st.Possess, f.perm, f.permSevered, f.unsat)
 		f.needDetect = false
 	}
 }
@@ -240,7 +338,7 @@ func (f *faultKernel) OnDeliver(_ int, mv core.Move) {
 // declaring a stall — the strategy may be idle precisely because nothing
 // deliverable remains.
 func (f *faultKernel) OnIdleLimit(_ int, st *sim.State) bool {
-	detect(f.inst, st.Possess, f.perm, f.unsat)
+	detect(f.inst, st.Possess, f.perm, f.permSevered, f.unsat)
 	return settled(f.inst, st.Possess, f.unsat)
 }
 
@@ -254,7 +352,7 @@ func (f *faultKernel) StepView(step int, st *sim.State, eff []int) *core.Instanc
 	g := graph.New(f.inst.N())
 	for i, a := range f.arcs {
 		c := 0
-		if !f.down[a.From] && !f.down[a.To] {
+		if !f.down[a.From] && !f.down[a.To] && !f.plan.Partitions.Severed(step, a.From, a.To) {
 			c = f.plan.Capacity.Cap(step, a)
 			if c < 0 {
 				c = 0
@@ -283,19 +381,22 @@ func (f *faultKernel) Lost(step int, mv core.Move, arcID int) bool {
 // detect grows the per-receiver undeliverable-token sets: a missing token
 // is undeliverable when no copy survives on any vertex that is not
 // permanently down, or when no surviving holder reaches the receiver
-// through the subgraph of non-permanently-down vertices. Both conditions
-// are monotone — permanent failures accumulate and extinct tokens stay
-// extinct — so the sets only ever grow and detection need only run when a
-// crash occurs.
+// through the subgraph of non-permanently-down vertices and
+// non-permanently-severed arcs. All conditions are monotone — permanent
+// failures accumulate and extinct tokens stay extinct — so the sets only
+// ever grow and detection need only run when a fault transition occurs
+// (plus once at finalization, to pick up permanent partitions that sever
+// arcs without any vertex transition).
 //
 // Transiently-down vertices keep their place in the reachability graph:
 // they will return (with whatever possession the state-loss policy left
-// them), so their wants and holdings still count.
-func detect(inst *core.Instance, possess []tokenset.Set, perm []bool, unsat []tokenset.Set) {
+// them), so their wants and holdings still count. Likewise transiently
+// severed arcs stay: they will heal.
+func detect(inst *core.Instance, possess []tokenset.Set, perm []bool, severed func(from, to int) bool, unsat []tokenset.Set) {
 	n := inst.N()
 	g := graph.New(n)
 	for _, a := range inst.G.Arcs() {
-		if !perm[a.From] && !perm[a.To] {
+		if !perm[a.From] && !perm[a.To] && !severed(a.From, a.To) {
 			_ = g.AddArc(a.From, a.To, a.Cap) // valid by construction
 		}
 	}
@@ -374,12 +475,13 @@ func receiverReports(inst *core.Instance, possess []tokenset.Set, unsat []tokens
 // Validate replays a faulted schedule against the instance and plan,
 // checking that every recorded move used an existing arc within the step's
 // effective capacity (crashes and the capacity model applied), that no
-// move touched a crashed vertex, and that every sender possessed the token
-// at the start of the timestep — with the plan's crash transitions and
-// state-loss policy replayed on possession. Unlike core.Validate it does
-// not require the schedule to satisfy every want: faulted runs may
-// legitimately end partial. Lost moves are not recorded in the schedule,
-// so delivered traffic is a lower bound on each arc's usage.
+// move touched a crashed or churned-away vertex or crossed a severed arc,
+// and that every sender possessed the token at the start of the timestep —
+// with the plan's crash/churn transitions and state-loss policies replayed
+// on possession. Unlike core.Validate it does not require the schedule to
+// satisfy every want: faulted runs may legitimately end partial. Lost
+// moves are not recorded in the schedule, so delivered traffic is a lower
+// bound on each arc's usage.
 func Validate(inst *core.Instance, sched *core.Schedule, plan Plan) error {
 	plan = plan.normalized()
 	n := inst.N()
@@ -391,13 +493,19 @@ func Validate(inst *core.Instance, sched *core.Schedule, plan Plan) error {
 
 	for i, st := range sched.Steps {
 		for v := 0; v < n; v++ {
-			down[v] = plan.Crashes.Down(i, v)
+			crashed := plan.Crashes.Down(i, v)
+			away := plan.Churn.Away(i, v)
+			down[v] = crashed || away
 			if down[v] && !prevDown[v] {
-				switch plan.StateLoss {
-				case DropDownloads:
-					possess[v].CopyFrom(inst.Have[v])
-				case DropAll:
+				if away {
 					possess[v].Clear()
+				} else {
+					switch plan.StateLoss {
+					case DropDownloads:
+						possess[v].CopyFrom(inst.Have[v])
+					case DropAll:
+						possess[v].Clear()
+					}
 				}
 			}
 			prevDown[v] = down[v]
@@ -410,7 +518,10 @@ func Validate(inst *core.Instance, sched *core.Schedule, plan Plan) error {
 		}
 		for _, mv := range st {
 			if down[mv.From] || down[mv.To] {
-				return fmt.Errorf("fault: step %d move %v: endpoint crashed", i, mv)
+				return fmt.Errorf("fault: step %d move %v: endpoint crashed or away", i, mv)
+			}
+			if plan.Partitions.Severed(i, mv.From, mv.To) {
+				return fmt.Errorf("fault: step %d move %v: arc severed by partition", i, mv)
 			}
 			base := inst.G.Cap(mv.From, mv.To)
 			if base == 0 {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ocd/internal/dynamic"
+	"ocd/internal/graph"
 )
 
 // mix hashes (seed, a, b, c, d) into a uniform 64-bit value — the
@@ -349,11 +350,16 @@ type Plan struct {
 	// Crashes takes vertices down (and possibly back up).
 	Crashes CrashModel
 	// StateLoss is applied to a vertex's possession at the moment it
-	// crashes.
+	// crashes. Churn departures ignore it: members always rejoin empty.
 	StateLoss StateLoss
+	// Partitions severs arcs while both endpoints stay up.
+	Partitions PartitionModel
+	// Churn removes members, who lose all state and rejoin empty.
+	Churn ChurnModel
 	// Capacity varies arc capacities between turns (the internal/dynamic
-	// models); nil leaves capacities static. Crashed vertices override
-	// whatever the capacity model says — their arcs carry nothing.
+	// models); nil leaves capacities static. Crashed or churned-out
+	// vertices and severed arcs override whatever the capacity model
+	// says — they carry nothing.
 	Capacity dynamic.Model
 	// Gossip is carried along for protocol strategies (see
 	// protocol.LocalWithGossipLoss); the engine itself does not consult it.
@@ -369,6 +375,12 @@ func (p Plan) normalized() Plan {
 	if p.Crashes == nil {
 		p.Crashes = NoCrashes{}
 	}
+	if p.Partitions == nil {
+		p.Partitions = NoPartitions{}
+	}
+	if p.Churn == nil {
+		p.Churn = NoChurn{}
+	}
 	if p.Capacity == nil {
 		p.Capacity = dynamic.Static{}
 	}
@@ -379,6 +391,12 @@ func (p Plan) normalized() Plan {
 func (p Plan) Name() string {
 	q := p.normalized()
 	s := fmt.Sprintf("%s + %s + %s", q.Loss.Name(), q.Crashes.Name(), p.StateLoss)
+	if p.Partitions != nil {
+		s += " + " + q.Partitions.Name()
+	}
+	if p.Churn != nil {
+		s += " + " + q.Churn.Name()
+	}
 	if q.Capacity.Name() != (dynamic.Static{}).Name() {
 		s += " + " + q.Capacity.Name()
 	}
@@ -386,6 +404,33 @@ func (p Plan) Name() string {
 		s += " + " + p.Gossip.Name()
 	}
 	return s
+}
+
+// DownAt reports whether v is out of service at step under the plan —
+// crashed or churned out. It is the predicate the invariant monitor's
+// down-vertex silence check consumes (trace.InvariantConfig.Down).
+func (p Plan) DownAt(step, v int) bool {
+	q := p.normalized()
+	return q.Crashes.Down(step, v) || q.Churn.Away(step, v)
+}
+
+// EffectiveCapacity returns the plan's effective capacity for base arc a
+// at step: zero when an endpoint is down or the arc is severed, else the
+// capacity model's (clamped) value — exactly the admission bound the
+// engine enforces. It is the hook the invariant monitor's capacity check
+// consumes (trace.InvariantConfig.Capacity).
+func (p Plan) EffectiveCapacity(step int, a graph.Arc) int {
+	q := p.normalized()
+	if q.Crashes.Down(step, a.From) || q.Crashes.Down(step, a.To) ||
+		q.Churn.Away(step, a.From) || q.Churn.Away(step, a.To) ||
+		q.Partitions.Severed(step, a.From, a.To) {
+		return 0
+	}
+	c := q.Capacity.Cap(step, a)
+	if c < 0 {
+		c = 0
+	}
+	return c
 }
 
 // AtIntensity builds the canonical chaos plan at intensity x ∈ [0,1]: a

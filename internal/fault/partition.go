@@ -1,0 +1,284 @@
+package fault
+
+// Arc-level partitions and membership churn — the second robustness ring
+// on top of the crash/loss models in fault.go. Partitions sever arcs
+// without touching the vertices behind them (the endpoints keep planning
+// and keep their state); churn removes whole members, who lose everything
+// and rejoin empty. Both follow the package contract: every model is a
+// pure function of (seed, step, identity), memoized where a trajectory is
+// sequential, so a partitioned or churned run replays byte-identically
+// from its plan.
+
+import "fmt"
+
+// PartitionModel decides, deterministically, which arcs are severed at
+// each step and whether a cut will ever heal.
+type PartitionModel interface {
+	Name() string
+	// Severed reports whether the arc from→to carries nothing at step.
+	// Partitions are directed: severing from→to says nothing about
+	// to→from (sever both directions for a full link cut).
+	Severed(step, from, to int) bool
+	// Permanent reports whether the arc from→to is severed at step and
+	// will never heal. The engine's reachability detection removes
+	// permanently severed arcs from the liveness graph, exactly as it
+	// removes permanently crashed vertices.
+	Permanent(step, from, to int) bool
+}
+
+// NoPartitions keeps every arc connected.
+type NoPartitions struct{}
+
+// Name implements PartitionModel.
+func (NoPartitions) Name() string { return "no-partitions" }
+
+// Severed implements PartitionModel.
+func (NoPartitions) Severed(int, int, int) bool { return false }
+
+// Permanent implements PartitionModel.
+func (NoPartitions) Permanent(int, int, int) bool { return false }
+
+// PartitionEvent scripts one cut: the arc From→To is severed from step At
+// until step HealAt (exclusive). HealAt < 0 means the cut never heals.
+type PartitionEvent struct {
+	From, To int
+	At       int
+	HealAt   int
+}
+
+// PartitionSchedule is an explicit scripted partition plan — the
+// deterministic ground truth for targeted scenarios (cut the only path to
+// a receiver, isolate a cluster for exactly k steps) and regression tests.
+type PartitionSchedule struct {
+	Events []PartitionEvent
+}
+
+// Name implements PartitionModel.
+func (m PartitionSchedule) Name() string {
+	return fmt.Sprintf("partition-schedule(%d events)", len(m.Events))
+}
+
+// Severed implements PartitionModel.
+func (m PartitionSchedule) Severed(step, from, to int) bool {
+	for _, e := range m.Events {
+		if e.From == from && e.To == to && step >= e.At && (e.HealAt < 0 || step < e.HealAt) {
+			return true
+		}
+	}
+	return false
+}
+
+// Permanent implements PartitionModel.
+func (m PartitionSchedule) Permanent(step, from, to int) bool {
+	for _, e := range m.Events {
+		if e.From == from && e.To == to && e.HealAt < 0 && step >= e.At {
+			return true
+		}
+	}
+	return false
+}
+
+// CutEdge scripts a full bidirectional link cut: both directions of the
+// edge u—v severed over [at, healAt).
+func CutEdge(u, v, at, healAt int) []PartitionEvent {
+	return []PartitionEvent{
+		{From: u, To: v, At: at, HealAt: healAt},
+		{From: v, To: u, At: at, HealAt: healAt},
+	}
+}
+
+// RandomPartitions splits the overlay into K sides (a seeded hash of the
+// vertex ID picks each vertex's side) and severs every cross-side arc
+// during partition episodes. When no episode is active, one starts with
+// probability StartP per step and lasts HealAfter steps; HealAfter < 0
+// makes the first episode permanent — the network never re-merges.
+// Construct with NewRandomPartitions; the value memoizes the episode
+// trajectory and is not safe for concurrent use.
+type RandomPartitions struct {
+	K         int
+	StartP    float64
+	HealAfter int
+	Seed      int64
+
+	// active memoizes the episode trajectory: active[t] reports whether a
+	// partition episode covers step t. rem is the internal state after
+	// step len(active)-1: remaining severed steps (-1 = permanent).
+	active []bool
+	rem    int
+}
+
+// NewRandomPartitions returns the stochastic k-way partition model. k < 2
+// is clamped to 2 (a 1-way partition severs nothing).
+func NewRandomPartitions(k int, startP float64, healAfter int, seed int64) *RandomPartitions {
+	if k < 2 {
+		k = 2
+	}
+	return &RandomPartitions{K: k, StartP: startP, HealAfter: healAfter, Seed: seed}
+}
+
+// Name implements PartitionModel.
+func (m *RandomPartitions) Name() string {
+	heal := fmt.Sprintf("heal %d", m.HealAfter)
+	if m.HealAfter < 0 {
+		heal = "never heals"
+	}
+	return fmt.Sprintf("random-partitions(k=%d, start %.2f, %s)", m.K, m.StartP, heal)
+}
+
+// Side returns the side vertex v lands on, in [0, K).
+func (m *RandomPartitions) Side(v int) int {
+	return int(mix(m.Seed, v, -2, 0, 5) % uint64(m.K))
+}
+
+// activeAt extends the memoized episode trajectory up to step and reports
+// whether an episode covers it. The trajectory is computed strictly
+// sequentially from step 0, so query order never changes it.
+func (m *RandomPartitions) activeAt(step int) bool {
+	if step < 0 {
+		return false
+	}
+	for len(m.active) <= step {
+		t := len(m.active)
+		if m.rem != 0 {
+			m.active = append(m.active, true)
+			if m.rem > 0 {
+				m.rem--
+			}
+			continue
+		}
+		if frac(mix(m.Seed, t, -1, 0, 4)) < m.StartP {
+			m.active = append(m.active, true)
+			if m.HealAfter < 0 {
+				m.rem = -1
+			} else {
+				m.rem = m.HealAfter - 1
+				if m.rem < 0 {
+					m.rem = 0
+				}
+			}
+		} else {
+			m.active = append(m.active, false)
+		}
+	}
+	return m.active[step]
+}
+
+// Severed implements PartitionModel.
+func (m *RandomPartitions) Severed(step, from, to int) bool {
+	return m.activeAt(step) && m.Side(from) != m.Side(to)
+}
+
+// Permanent implements PartitionModel.
+func (m *RandomPartitions) Permanent(step, from, to int) bool {
+	return m.HealAfter < 0 && m.Severed(step, from, to)
+}
+
+// ChurnModel decides, deterministically, which vertices have left the
+// overlay at each step and whether a departure is final. Churn differs
+// from crashes in its state semantics: a member that leaves loses
+// everything it downloaded and rejoins empty (DropAll), regardless of the
+// plan's crash StateLoss — the modelling of anonymous peers that
+// reinstall, not servers that reboot.
+type ChurnModel interface {
+	Name() string
+	// Away reports whether v has left the overlay at step (unable to
+	// send, receive, or plan — identical to a crashed vertex in-flight).
+	Away(step, v int) bool
+	// Gone reports whether v has left at step and will never rejoin.
+	Gone(step, v int) bool
+}
+
+// NoChurn keeps every member in the overlay.
+type NoChurn struct{}
+
+// Name implements ChurnModel.
+func (NoChurn) Name() string { return "no-churn" }
+
+// Away implements ChurnModel.
+func (NoChurn) Away(int, int) bool { return false }
+
+// Gone implements ChurnModel.
+func (NoChurn) Gone(int, int) bool { return false }
+
+// ChurnEvent scripts one membership session gap: vertex V leaves at step
+// At and rejoins (empty) at step RejoinAt (exclusive). RejoinAt < 0 means
+// the member never returns.
+type ChurnEvent struct {
+	V        int
+	At       int
+	RejoinAt int
+}
+
+// ChurnSchedule is an explicit scripted churn plan.
+type ChurnSchedule struct {
+	Events []ChurnEvent
+}
+
+// Name implements ChurnModel.
+func (m ChurnSchedule) Name() string {
+	return fmt.Sprintf("churn-schedule(%d events)", len(m.Events))
+}
+
+// Away implements ChurnModel.
+func (m ChurnSchedule) Away(step, v int) bool {
+	for _, e := range m.Events {
+		if e.V == v && step >= e.At && (e.RejoinAt < 0 || step < e.RejoinAt) {
+			return true
+		}
+	}
+	return false
+}
+
+// Gone implements ChurnModel.
+func (m ChurnSchedule) Gone(step, v int) bool {
+	for _, e := range m.Events {
+		if e.V == v && e.RejoinAt < 0 && step >= e.At {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomChurn models session churn by an independent two-state chain per
+// vertex: a present member leaves with probability LeaveP per step, an
+// absent one rejoins (empty) with probability RejoinP per step (RejoinP =
+// 0 turns every departure into a permanent exit). Vertices in Protect —
+// typically the sources — never leave. Construct with NewRandomChurn; the
+// value memoizes per-vertex trajectories and is not safe for concurrent
+// use. The chain identity is salted differently from RandomCrashes, so a
+// plan composing both from the same seed keeps them independent.
+type RandomChurn struct {
+	LeaveP, RejoinP float64
+	Seed            int64
+	Protect         []int
+	c               *chain
+}
+
+// NewRandomChurn returns the stochastic membership churn model.
+func NewRandomChurn(leaveP, rejoinP float64, seed int64, protect ...int) *RandomChurn {
+	return &RandomChurn{
+		LeaveP: leaveP, RejoinP: rejoinP, Seed: seed,
+		Protect: append([]int(nil), protect...),
+		c:       newChain(seed, leaveP, rejoinP),
+	}
+}
+
+// Name implements ChurnModel.
+func (m *RandomChurn) Name() string {
+	return fmt.Sprintf("random-churn(%.3f leave, %.2f rejoin)", m.LeaveP, m.RejoinP)
+}
+
+// Away implements ChurnModel.
+func (m *RandomChurn) Away(step, v int) bool {
+	for _, u := range m.Protect {
+		if u == v {
+			return false
+		}
+	}
+	return m.c.state(step, v, -2)
+}
+
+// Gone implements ChurnModel.
+func (m *RandomChurn) Gone(step, v int) bool {
+	return m.RejoinP == 0 && m.Away(step, v)
+}

@@ -1,12 +1,21 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"ocd/internal/core"
 	"ocd/internal/sim"
 )
+
+// ErrRetriesExhausted marks a request the retry wrapper gave up on: every
+// allowed attempt was spent and the token never arrived. The wrapper keeps
+// planning after exhaustion — other requests may still succeed — but
+// records the first exhaustion and surfaces it through Err, so a stalled
+// run's error explains which delivery the wrapper abandoned.
+var ErrRetriesExhausted = errors.New("retries exhausted")
 
 // RetryOptions configures the retry-with-backoff wrapper.
 type RetryOptions struct {
@@ -51,6 +60,7 @@ type retryStrategy struct {
 	inner   sim.Strategy
 	opts    RetryOptions
 	pending map[[2]int]*pending // (to, token) → request
+	err     error               // first exhaustion, reported via Err
 }
 
 // WithRetry wraps a strategy factory with the retry-with-backoff layer.
@@ -66,6 +76,8 @@ func WithRetry(inner sim.Factory, opts RetryOptions) sim.Factory {
 }
 
 func (r *retryStrategy) Name() string { return fmt.Sprintf("retry(%s)", r.inner.Name()) }
+
+var _ sim.Failer = (*retryStrategy)(nil)
 
 func (r *retryStrategy) Plan(st *sim.State) []core.Move {
 	// Reap delivered and exhausted requests. Map iteration order is
@@ -91,6 +103,10 @@ func (r *retryStrategy) Plan(st *sim.State) []core.Move {
 			continue
 		}
 		if p.attempts >= r.opts.MaxAttempts {
+			if r.err == nil {
+				r.err = fmt.Errorf("%w: token %d never reached vertex %d after %d attempts (strategy %s)",
+					ErrRetriesExhausted, token, to, p.attempts, r.inner.Name())
+			}
 			delete(r.pending, key)
 			continue
 		}
@@ -126,20 +142,24 @@ func (r *retryStrategy) Plan(st *sim.State) []core.Move {
 	return moves
 }
 
+// Err reports the first exhausted request, if any. It implements
+// sim.Failer: the engines join it onto a stall error so the failure names
+// the abandoned delivery and the wrapped strategy.
+func (r *retryStrategy) Err() error { return r.err }
+
 // backoff is the delay before the attempt-th retry: base·2^(attempt−1),
-// capped.
+// capped. One shift instead of a doubling loop; the Len guard keeps the
+// shift in range, since any shift past the cap's bit length saturates
+// anyway.
 func (r *retryStrategy) backoff(attempt int) int {
-	d := r.opts.BackoffBase
-	for i := 1; i < attempt; i++ {
-		d *= 2
-		if d >= r.opts.BackoffCap {
-			return r.opts.BackoffCap
-		}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
 	}
-	if d > r.opts.BackoffCap {
-		d = r.opts.BackoffCap
+	if shift >= bits.Len(uint(r.opts.BackoffCap)) || r.opts.BackoffBase<<shift > r.opts.BackoffCap {
+		return r.opts.BackoffCap
 	}
-	return d
+	return r.opts.BackoffBase << shift
 }
 
 // pickSender returns a vertex currently holding token with a live arc into

@@ -1,8 +1,10 @@
 package fault
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"ocd/internal/core"
@@ -133,5 +135,45 @@ func TestBackoffSchedule(t *testing.T) {
 		if got := r.backoff(i + 1); got != w {
 			t.Errorf("backoff(%d) = %d, want %d", i+1, got, w)
 		}
+	}
+	// Saturation stays exact far past the cap's bit length (shift overflow
+	// territory) and when the base already exceeds the cap.
+	for _, attempt := range []int{20, 40, 70} {
+		if got := r.backoff(attempt); got != 8 {
+			t.Errorf("backoff(%d) = %d, want cap 8", attempt, got)
+		}
+	}
+	r = &retryStrategy{opts: RetryOptions{BackoffBase: 3, BackoffCap: 8}}
+	for i, w := range []int{3, 6, 8, 8} {
+		if got := r.backoff(i + 1); got != w {
+			t.Errorf("base 3: backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	r = &retryStrategy{opts: RetryOptions{BackoffBase: 10, BackoffCap: 8}}
+	if got := r.backoff(1); got != 8 {
+		t.Errorf("base over cap: backoff(1) = %d, want 8", got)
+	}
+}
+
+func TestRetryExhaustionNamesStrategyInStall(t *testing.T) {
+	// Total loss: nothing ever arrives, so every request burns through its
+	// attempts. The run stalls (holders stay live and reachable, so the
+	// engine cannot prove unsatisfiability), and the stall error must carry
+	// the wrapper's exhaustion report naming the wrapped strategy.
+	inst := lineInstance(t, 2, 4, 2)
+	plan := Plan{Loss: Bernoulli{P: 1, Seed: 1}}
+	res, err := Run(inst, WithRetry(onceFactory, RetryOptions{MaxAttempts: 3}), plan,
+		sim.Options{Seed: 2, IdlePatience: 10, MaxSteps: 200})
+	if err == nil {
+		t.Fatalf("run under total loss did not stall (completed=%v)", res.Completed)
+	}
+	if !errors.Is(err, sim.ErrStalled) {
+		t.Errorf("error %v is not a stall", err)
+	}
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("stall error %v does not carry ErrRetriesExhausted", err)
+	}
+	if !strings.Contains(err.Error(), "strategy once") {
+		t.Errorf("exhaustion error does not name the wrapped strategy: %v", err)
 	}
 }

@@ -23,10 +23,13 @@
 package runner
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Cell is one independent unit of experiment work producing a T.
@@ -49,6 +52,42 @@ type Options struct {
 	// Parallelism is the number of worker goroutines. Zero or negative
 	// means GOMAXPROCS. Parallelism 1 is exact serial execution.
 	Parallelism int
+	// CellTimeout, when positive, bounds each cell's wall-clock run time;
+	// a cell exceeding it fails with a DeadlineError instead of hanging
+	// the sweep. The overrunning cell's goroutine is abandoned (cells have
+	// no cancellation channel), so a timeout trades a leaked goroutine for
+	// a live sweep — acceptable for runaway cells that are genuinely stuck.
+	CellTimeout time.Duration
+	// Journal, when non-nil, records each completed cell's result as one
+	// JSONL line and skips cells the journal already holds, so a killed
+	// sweep resumes from its completed cells with byte-identical output.
+	// The cell result type must round-trip through encoding/json. Failed
+	// cells are never journaled; they re-run on resume.
+	Journal *Journal
+}
+
+// PanicError is a cell panic converted into a structured error: one
+// panicking cell fails its own cell, not the whole sweep's process.
+type PanicError struct {
+	// Key names the panicking cell; Value is the recovered panic value.
+	Key   string
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cell %q panicked: %v\n%s", e.Key, e.Value, e.Stack)
+}
+
+// DeadlineError reports a cell that exceeded Options.CellTimeout.
+type DeadlineError struct {
+	Key     string
+	Timeout time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("cell %q exceeded its %v deadline", e.Key, e.Timeout)
 }
 
 // seedPrime/seedOffset are the FNV-1a 64-bit parameters used for seed
@@ -96,10 +135,41 @@ func Map[T any](base int64, cells []Cell[T], opts Options) ([]T, error) {
 
 	results := make([]T, len(cells))
 	errs := make([]error, len(cells))
+	skip := make([]bool, len(cells))
+
+	if opts.Journal != nil {
+		if err := opts.Journal.bind(base); err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			raw, ok := opts.Journal.lookup(c.Key)
+			if !ok {
+				continue
+			}
+			if json.Unmarshal(raw, &results[i]) == nil {
+				skip[i] = true
+			} else {
+				// A journal recorded by an older driver whose row shape no
+				// longer matches: re-run the cell rather than resume wrong.
+				var zero T
+				results[i] = zero
+			}
+		}
+	}
+
+	exec := func(i int) {
+		c := cells[i]
+		results[i], errs[i] = runCell(c, cellSeed(base, c), opts.CellTimeout)
+		if errs[i] == nil && opts.Journal != nil {
+			errs[i] = opts.Journal.record(c.Key, results[i])
+		}
+	}
 
 	if workers <= 1 {
-		for i, c := range cells {
-			results[i], errs[i] = c.Run(cellSeed(base, c))
+		for i := range cells {
+			if !skip[i] {
+				exec(i)
+			}
 		}
 	} else {
 		var next atomic.Int64
@@ -113,8 +183,9 @@ func Map[T any](base int64, cells []Cell[T], opts Options) ([]T, error) {
 					if i >= len(cells) {
 						return
 					}
-					c := cells[i]
-					results[i], errs[i] = c.Run(cellSeed(base, c))
+					if !skip[i] {
+						exec(i)
+					}
 				}
 			}()
 		}
@@ -135,4 +206,37 @@ func cellSeed[T any](base int64, c Cell[T]) int64 {
 		key = c.Key
 	}
 	return Seed(base, key)
+}
+
+// runCell executes one cell with panic isolation and the optional
+// per-cell deadline.
+func runCell[T any](c Cell[T], seed int64, timeout time.Duration) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	run := func() (out outcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out.err = &PanicError{Key: c.Key, Value: r, Stack: string(debug.Stack())}
+			}
+		}()
+		out.v, out.err = c.Run(seed)
+		return
+	}
+	if timeout <= 0 {
+		o := run()
+		return o.v, o.err
+	}
+	ch := make(chan outcome, 1)
+	go func() { ch <- run() }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-timer.C:
+		var zero T
+		return zero, &DeadlineError{Key: c.Key, Timeout: timeout}
+	}
 }

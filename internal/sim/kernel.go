@@ -66,10 +66,12 @@ type Observer interface {
 	// OnStep runs at the end of every executed timestep, idle steps
 	// included (delivered is nil for an idle step).
 	OnStep(step int, delivered core.Step, st *State)
-	// OnMove runs for every accepted move, after its loss draw.
-	OnMove(step int, mv core.Move, arcID int, lost bool)
+	// OnMove runs for every accepted move, after its loss draw and before
+	// any delivery of the step applies — st.Possess is the admission-time
+	// possession the kernel checked the move against.
+	OnMove(step int, mv core.Move, arcID int, lost bool, st *State)
 	// OnReject runs for every proposed move the kernel discarded.
-	OnReject(step int, mv core.Move)
+	OnReject(step int, mv core.Move, st *State)
 }
 
 // StopReason reports why the kernel stopped.
@@ -183,7 +185,7 @@ func (eng *Engine) Run(inst *core.Instance, strat Strategy, st *State, res *Resu
 			if !ok {
 				res.Rejected++
 				if obs != nil {
-					obs.OnReject(step, mv)
+					obs.OnReject(step, mv, st)
 				}
 				continue
 			}
@@ -213,13 +215,13 @@ func (eng *Engine) Run(inst *core.Instance, strat Strategy, st *State, res *Resu
 			if eng.Loss != nil && eng.Loss.Lost(step, mv, acceptedIDs[i]) {
 				res.Lost++
 				if obs != nil {
-					obs.OnMove(step, mv, acceptedIDs[i], true)
+					obs.OnMove(step, mv, acceptedIDs[i], true, st)
 				}
 				continue
 			}
 			delivered = append(delivered, mv)
 			if obs != nil {
-				obs.OnMove(step, mv, acceptedIDs[i], false)
+				obs.OnMove(step, mv, acceptedIDs[i], false, st)
 			}
 		}
 		// The schedule keeps an exact-size copy — the scratch buffer's

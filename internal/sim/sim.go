@@ -117,6 +117,15 @@ type Strategy interface {
 // do so here.
 type Factory func(inst *core.Instance, rng *rand.Rand) (Strategy, error)
 
+// Failer is implemented by strategies that can fail internally and want
+// the cause surfaced when a run stalls (e.g. the fault package's retry
+// wrapper after exhausting MaxAttempts). Engines join a non-nil Err into
+// the stall error; a strategy that has not failed returns nil.
+type Failer interface {
+	// Err reports why the strategy stopped proposing moves, or nil.
+	Err() error
+}
+
 // Result summarizes a completed run.
 type Result struct {
 	Strategy string
@@ -228,7 +237,13 @@ func Run(inst *core.Instance, factory Factory, opts Options) (*Result, error) {
 	if reason == StopStalled {
 		// A stalled run reports its partial schedule without finalized
 		// summary metrics, matching the engine's historical contract.
-		return res, fmt.Errorf("%w: step %d, strategy %s", ErrStalled, stepAt, strat.Name())
+		err := fmt.Errorf("%w: step %d, strategy %s", ErrStalled, stepAt, strat.Name())
+		if fs, ok := strat.(Failer); ok {
+			if ferr := fs.Err(); ferr != nil {
+				err = errors.Join(err, ferr)
+			}
+		}
+		return res, err
 	}
 	res.Finalize(inst, st.Possess, done, opts.Prune)
 	return res, nil

@@ -73,7 +73,7 @@ func NewStepCollector(inst *core.Instance) *StepCollector {
 }
 
 // OnMove implements sim.Observer.
-func (c *StepCollector) OnMove(_ int, _ core.Move, arcID int, lost bool) {
+func (c *StepCollector) OnMove(_ int, _ core.Move, arcID int, lost bool, _ *sim.State) {
 	if c.arcLoad[arcID] == 0 {
 		c.touched = append(c.touched, arcID)
 	}
@@ -86,7 +86,7 @@ func (c *StepCollector) OnMove(_ int, _ core.Move, arcID int, lost bool) {
 }
 
 // OnReject implements sim.Observer.
-func (c *StepCollector) OnReject(int, core.Move) { c.rejects++ }
+func (c *StepCollector) OnReject(int, core.Move, *sim.State) { c.rejects++ }
 
 // OnStep implements sim.Observer: it closes out the step's record.
 func (c *StepCollector) OnStep(step int, _ core.Step, st *sim.State) {

@@ -102,6 +102,28 @@ type (
 	StateLossPolicy = fault.StateLoss
 	// RetryOptions configures the retry-with-backoff wrapper.
 	RetryOptions = fault.RetryOptions
+	// PartitionModel decides per-step arc severing (FaultPlan.Partitions).
+	PartitionModel = fault.PartitionModel
+	// PartitionEvent is one scripted cut (HealAt < 0 = never heals).
+	PartitionEvent = fault.PartitionEvent
+	// PartitionSchedule replays scripted partition events.
+	PartitionSchedule = fault.PartitionSchedule
+	// ChurnModel decides per-step membership absences (FaultPlan.Churn).
+	ChurnModel = fault.ChurnModel
+	// ChurnEvent is one scripted session gap (RejoinAt < 0 = never returns).
+	ChurnEvent = fault.ChurnEvent
+	// ChurnSchedule replays scripted churn events.
+	ChurnSchedule = fault.ChurnSchedule
+	// FaultLiveness classifies a faulted run's terminal state: complete,
+	// healable (stalled behind transient faults), or unsatisfiable.
+	FaultLiveness = fault.Liveness
+)
+
+// Liveness verdicts reported in FaultResult.Liveness.
+const (
+	LivenessComplete      = fault.LivenessComplete
+	LivenessHealable      = fault.LivenessHealable
+	LivenessUnsatisfiable = fault.LivenessUnsatisfiable
 )
 
 // State-loss policies for crashing vertices.
@@ -127,6 +149,24 @@ func GilbertElliottLoss(pGoodBad, pBadGood, lossGood, lossBad float64, seed int6
 func RandomCrashes(crashP, recoverP float64, seed int64, protect ...int) CrashModel {
 	return fault.NewRandomCrashes(crashP, recoverP, seed, protect...)
 }
+
+// RandomPartitions splits the overlay into k seeded sides and severs every
+// cross-side arc during partition episodes: when none is active, one
+// starts with probability startP per step and lasts healAfter steps
+// (healAfter < 0: the first episode never heals).
+func RandomPartitions(k int, startP float64, healAfter int, seed int64) PartitionModel {
+	return fault.NewRandomPartitions(k, startP, healAfter, seed)
+}
+
+// RandomChurn models session churn: present members leave with leaveP per
+// step (losing all state), absent ones rejoin empty with rejoinP per step
+// (rejoinP = 0: departures are permanent). Protected vertices never leave.
+func RandomChurn(leaveP, rejoinP float64, seed int64, protect ...int) ChurnModel {
+	return fault.NewRandomChurn(leaveP, rejoinP, seed, protect...)
+}
+
+// CutEdge scripts a full bidirectional link cut over [at, healAt).
+func CutEdge(u, v, at, healAt int) []PartitionEvent { return fault.CutEdge(u, v, at, healAt) }
 
 // FaultPlanAtIntensity builds the canonical chaos plan at intensity
 // x ∈ [0,1]: bursty loss, crash/recovery churn with download loss, and
@@ -172,6 +212,18 @@ func RetryFactory(inner StrategyFactory, opts RetryOptions) StrategyFactory {
 	return fault.WithRetry(inner, opts)
 }
 
+// Error sentinels, for errors.Is on run errors.
+var (
+	// ErrStalled marks a run that made no progress for a full IdlePatience
+	// window with wants unsatisfied. A FaultResult's Liveness says whether
+	// the stall was healable or the wants provably dead.
+	ErrStalled = sim.ErrStalled
+	// ErrRetriesExhausted marks a delivery the retry wrapper abandoned
+	// after MaxAttempts; it is joined onto the stall error of a run that
+	// subsequently made no progress.
+	ErrRetriesExhausted = fault.ErrRetriesExhausted
+)
+
 // ProtocolLocalWithGossipLoss is ProtocolLocalFactory with lossy knowledge
 // gossip: each per-turn neighbor exchange is skipped when drop returns
 // true (pair with FaultPlan.Gossip).
@@ -192,6 +244,23 @@ func ExperimentChaos(n, tokens int, intensities []float64, heuristicNames []stri
 // gracefully with an explicit unsatisfiable-receiver report.
 func ExperimentCrashedSource(n, tokens, crashAt int, seed int64) (*Table, error) {
 	return experiments.CrashedSource(n, tokens, crashAt, seed)
+}
+
+// FaultSweepOptions configures the partition/churn sweeps' harness ring:
+// the crash-safety journal, the invariant monitor, and parallelism.
+type FaultSweepOptions = experiments.FaultSweepOptions
+
+// ExperimentPartition sweeps partition heal time × heuristic under the
+// k-way RandomPartitions model, classifying stalled runs as healable or
+// unsatisfiable.
+func ExperimentPartition(n, tokens, k int, healAfters []int, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
+	return experiments.Partition(n, tokens, k, healAfters, heuristicNames, seed, opts)
+}
+
+// ExperimentChurn sweeps membership churn rate × heuristic: members leave
+// with per-step probability (losing all state) and rejoin empty.
+func ExperimentChurn(n, tokens int, leaveRates []float64, rejoinP float64, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
+	return experiments.ChurnSweep(n, tokens, leaveRates, rejoinP, heuristicNames, seed, opts)
 }
 
 // DefaultCaps is the paper's capacity range: 3..15 tokens per timestep.
@@ -539,10 +608,27 @@ type (
 	StepRecord = trace.StepRecord
 	// StepCollector is the standard Observer: one StepRecord per timestep.
 	StepCollector = trace.StepCollector
+	// InvariantMonitor is the kernel-invariant sanitizer Observer: it
+	// re-checks possession, capacity, down-vertex silence, and token
+	// conservation every step.
+	InvariantMonitor = trace.InvariantMonitor
+	// InvariantConfig adapts the monitor to an engine's fault semantics
+	// (pass FaultPlan.DownAt and FaultPlan.EffectiveCapacity for faulted
+	// runs); the zero value checks the static model.
+	InvariantConfig = trace.InvariantConfig
+	// InvariantViolation is one structured invariant breach.
+	InvariantViolation = trace.InvariantViolation
 )
 
 // NewStepCollector builds a per-step trace collector for runs over inst.
 func NewStepCollector(inst *Instance) *StepCollector { return trace.NewStepCollector(inst) }
+
+// NewInvariantMonitor builds a kernel invariant monitor for runs over
+// inst; attach it through RunOptions.Observer and check its Err after the
+// run.
+func NewInvariantMonitor(inst *Instance, cfg InvariantConfig) *InvariantMonitor {
+	return trace.NewInvariantMonitor(inst, cfg)
+}
 
 // EncodeStepTraceJSONL writes step records as JSONL (one object per line).
 func EncodeStepTraceJSONL(w io.Writer, recs []StepRecord) error {
