@@ -17,7 +17,12 @@
 // The bundled analyzers are detrand (no wall clock or global PRNG in
 // deterministic packages), maporder (no map-iteration order reaching
 // ordering-sensitive sinks without a justified //ocd:orderinvariant
-// directive), and checkederr (validation errors must be consumed).
+// directive), checkederr (validation errors must be consumed),
+// scratchalias (no reference to a reusable scratch buffer may escape the
+// call that filled it), obspure (Observer hooks are read-only on
+// *sim.State; StepInterceptor mutation is sanctioned-methods-only and
+// PreStep-only), and prngshare (PRNG streams never cross goroutines or
+// runner cells).
 package main
 
 import (
@@ -26,6 +31,9 @@ import (
 	"ocd/internal/analysis/checkederr"
 	"ocd/internal/analysis/detrand"
 	"ocd/internal/analysis/maporder"
+	"ocd/internal/analysis/obspure"
+	"ocd/internal/analysis/prngshare"
+	"ocd/internal/analysis/scratchalias"
 )
 
 func main() {
@@ -33,5 +41,8 @@ func main() {
 		detrand.Analyzer,
 		maporder.Analyzer,
 		checkederr.Analyzer,
+		scratchalias.Analyzer,
+		obspure.Analyzer,
+		prngshare.Analyzer,
 	)
 }

@@ -45,7 +45,7 @@ func TestRegistersAllAnalyzers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ocdlint help: %v\n%s", err, out)
 	}
-	for _, name := range []string{"detrand", "maporder", "checkederr"} {
+	for _, name := range []string{"detrand", "maporder", "checkederr", "scratchalias", "obspure", "prngshare"} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("ocdlint help does not list analyzer %s:\n%s", name, out)
 		}

@@ -45,7 +45,32 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkDiagnostics(t, fset, files, diags)
+	problems, err := diffDiagnostics(fset, files, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// Problems runs the analyzer on the fixture and returns the mismatches
+// between diagnostics and // want annotations without failing the test.
+// A nil slice means the fixture is green. Negative-path tests use this
+// to prove the harness rejects a // want that does not fire: a harness
+// that silently ignored unmatched expectations would let every analyzer
+// regress to never firing while its fixtures stayed green.
+func Problems(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []string {
+	t.Helper()
+	diags, fset, files, err := runOnFixture(testdata, a, pkgpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := diffDiagnostics(fset, files, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problems
 }
 
 // Diagnostics runs the analyzer on the fixture and returns the raw
@@ -213,16 +238,17 @@ type expectation struct {
 	hit  bool
 }
 
-// checkDiagnostics diffs diagnostics against the fixtures' // want
-// annotations.
-func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
-	t.Helper()
+// diffDiagnostics diffs diagnostics against the fixtures' // want
+// annotations: unexpected diagnostics and unmatched expectations are
+// both mismatches. Malformed fixtures (no backquoted pattern, an
+// uncompilable regexp) are errors, not mismatches.
+func diffDiagnostics(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) ([]string, error) {
 	var wants []*expectation
 	for _, f := range files {
 		fname := fset.Position(f.Pos()).Filename
 		src, err := os.ReadFile(fname)
 		if err != nil {
-			t.Fatalf("re-reading fixture: %v", err)
+			return nil, fmt.Errorf("re-reading fixture: %v", err)
 		}
 		for i, lineText := range strings.Split(string(src), "\n") {
 			m := wantRE.FindStringSubmatch(lineText)
@@ -231,18 +257,19 @@ func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diag
 			}
 			pats := patternRE.FindAllStringSubmatch(m[1], -1)
 			if len(pats) == 0 {
-				t.Fatalf("%s:%d: // want with no backquoted pattern", fname, i+1)
+				return nil, fmt.Errorf("%s:%d: // want with no backquoted pattern", fname, i+1)
 			}
 			for _, p := range pats {
 				re, err := regexp.Compile(p[1])
 				if err != nil {
-					t.Fatalf("%s:%d: bad // want pattern %q: %v", fname, i+1, p[1], err)
+					return nil, fmt.Errorf("%s:%d: bad // want pattern %q: %v", fname, i+1, p[1], err)
 				}
 				wants = append(wants, &expectation{file: fname, line: i + 1, re: re, raw: p[1]})
 			}
 		}
 	}
 
+	var problems []string
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		matched := false
@@ -257,12 +284,13 @@ func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diag
 			}
 		}
 		if !matched {
-			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			problems = append(problems, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message))
 		}
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: no diagnostic matched // want `%s`", w.file, w.line, w.raw)
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched // want `%s`", w.file, w.line, w.raw))
 		}
 	}
+	return problems, nil
 }

@@ -1,0 +1,16 @@
+// Package neg is the checkederr negative-path fixture: a properly
+// consumed validation result with a "want" annotation that must NOT fire, proving
+// the harness reports unmatched expectations.
+package neg
+
+import "errors"
+
+// Validate plays the role of a tracked validation function.
+func Validate() error { return errors.New("invalid") }
+
+func consumes() error {
+	if err := Validate(); err != nil { // want `this diagnostic never fires`
+		return err
+	}
+	return nil
+}

@@ -28,6 +28,16 @@ func TestNonDeterministicPackageIgnored(t *testing.T) {
 	analyzertest.Run(t, "testdata", Analyzer, "notdet")
 }
 
+func TestNegativeFixture(t *testing.T) {
+	setPackages(t, "neg")
+	// A // want on the sanctioned injected-generator pattern must stay
+	// unmatched, and the harness must surface that as a mismatch.
+	probs := analyzertest.Problems(t, "testdata", Analyzer, "neg")
+	if len(probs) != 1 || !strings.Contains(probs[0], "no diagnostic matched") {
+		t.Fatalf("want exactly one unmatched-expectation problem, got %q", probs)
+	}
+}
+
 func TestDefaultPackageList(t *testing.T) {
 	for _, want := range []string{
 		"ocd/internal/sim",

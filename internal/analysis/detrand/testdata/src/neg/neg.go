@@ -1,0 +1,12 @@
+// Package neg is the detrand negative-path fixture: the sanctioned
+// injected-generator pattern with a "want" annotation that must NOT fire. The
+// harness has to report the unmatched expectation — a harness that let
+// it pass would also hide the analyzer regressing to silence.
+package neg
+
+import "math/rand"
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // want `this diagnostic never fires`
+	return rng.Intn(10)
+}

@@ -14,6 +14,18 @@
 //     string accumulation) unless annotated with //ocd:orderinvariant.
 //   - checkederr requires callers to consume the validation errors of
 //     core.Validate, core.ValidateConstraints, and fault.Validate.
+//   - scratchalias forbids references to designated reusable scratch
+//     buffers (//ocd:scratch, or "scratch"-prefixed names) from escaping
+//     the call that filled them; safe sites carry //ocd:scratchok.
+//   - obspure proves sim.Observer implementations read-only on
+//     *sim.State (no writes, no retention of the state or the delivered
+//     slice, no handing the state to unvetted callees) and confines
+//     StepInterceptor mutation to sanctioned methods called from
+//     PreStep.
+//   - prngshare keeps every *rand.Rand single-owner: no goroutine
+//     handoff, no channel send, no runner cell capturing a stream
+//     instead of deriving one from its seed; safe sites carry
+//     //ocd:prngok.
 //
 // The analyzers are wired into `go vet` through cmd/ocdlint, a vettool
 // built on golang.org/x/tools/go/analysis/unitchecker:

@@ -182,10 +182,18 @@ func findSink(pass *analysis.Pass, rng *ast.RangeStmt, fn ast.Node) string {
 
 // callSink classifies a call inside the loop body as ordering-sensitive.
 func callSink(pass *analysis.Pass, rng *ast.RangeStmt, fn ast.Node, call *ast.CallExpr) string {
-	switch fun := call.Fun.(type) {
+	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		if isBuiltinAppend(pass, fun) && appendEscapes(pass, rng, fn, call) {
 			return "append to slice declared outside the loop"
+		}
+		// A call through a local bound to a method value (emit :=
+		// w.WriteString; emit(k)) reaches the same sink as the direct
+		// call; resolve the binding within the enclosing function.
+		if obj, ok := pass.TypesInfo.Uses[fun].(*types.Var); ok {
+			if s := boundSink(pass, fn, obj); s != "" {
+				return "call via " + fun.Name + " bound to ordering-sensitive " + s
+			}
 		}
 	case *ast.SelectorExpr:
 		obj := pass.TypesInfo.Uses[fun.Sel]
@@ -210,6 +218,85 @@ func callSink(pass *analysis.Pass, rng *ast.RangeStmt, fn ast.Node, call *ast.Ca
 		}
 	}
 	return ""
+}
+
+// methodValueSink classifies an expression as an ordering-sensitive
+// method value (w.WriteString taken as a func value) or package function
+// value (fmt.Println without a call).
+func methodValueSink(pass *analysis.Pass, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() != nil {
+		if orderSensitiveMethods[obj.Name()] {
+			return "method value " + obj.Name()
+		}
+		return ""
+	}
+	if obj.Pkg() != nil {
+		if names, ok := orderSensitiveFuncs[obj.Pkg().Path()]; ok && names[obj.Name()] {
+			return "function value " + obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// boundSink reports whether obj is bound, anywhere in the enclosing
+// function, to an ordering-sensitive method or function value. Bindings
+// before, inside, or after the loop all count: the variable carries the
+// writer either way.
+func boundSink(pass *analysis.Pass, fn ast.Node, obj types.Object) string {
+	if fn == nil || obj == nil {
+		return ""
+	}
+	var sink string
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				o := pass.TypesInfo.Defs[id]
+				if o == nil {
+					o = pass.TypesInfo.Uses[id]
+				}
+				if o != obj {
+					continue
+				}
+				if s := methodValueSink(pass, n.Rhs[i]); s != "" {
+					sink = s
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if pass.TypesInfo.Defs[id] != obj || i >= len(n.Values) {
+					continue
+				}
+				if s := methodValueSink(pass, n.Values[i]); s != "" {
+					sink = s
+				}
+			}
+		}
+		return true
+	})
+	return sink
 }
 
 func isBuiltinAppend(pass *analysis.Pass, id *ast.Ident) bool {

@@ -1,6 +1,7 @@
 package maporder
 
 import (
+	"strings"
 	"testing"
 
 	"ocd/internal/analysis/analyzertest"
@@ -8,6 +9,15 @@ import (
 
 func TestMapOrder(t *testing.T) {
 	analyzertest.Run(t, "testdata", Analyzer, "a")
+}
+
+func TestNegativeFixture(t *testing.T) {
+	// A // want on a deterministic slice range must stay unmatched, and
+	// the harness must surface that as a mismatch.
+	probs := analyzertest.Problems(t, "testdata", Analyzer, "neg")
+	if len(probs) != 1 || !strings.Contains(probs[0], "no diagnostic matched") {
+		t.Fatalf("want exactly one unmatched-expectation problem, got %q", probs)
+	}
 }
 
 func TestDirectiveConstant(t *testing.T) {

@@ -123,6 +123,49 @@ func rangeOverSliceIsFine(xs []int, out *[]int) {
 	}
 }
 
+// methodValueBoundBefore binds the writer to a local before the loop;
+// calling the local inside the loop reaches the same sink as calling
+// sb.WriteString directly.
+func methodValueBoundBefore(m map[string]int, sb *strings.Builder) {
+	emit := sb.WriteString
+	for k := range m { // want `call via emit bound to ordering-sensitive method value WriteString`
+		emit(k)
+	}
+}
+
+// methodValueBoundInside binds the writer inside the loop body.
+func methodValueBoundInside(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `call via emit bound to ordering-sensitive method value WriteString`
+		emit := sb.WriteString
+		emit(k)
+	}
+}
+
+// funcValueBound covers package-level function values (fmt.Println).
+func funcValueBound(m map[string]int) {
+	var show = fmt.Println
+	for k, v := range m { // want `call via show bound to ordering-sensitive function value fmt\.Println`
+		show(k, v)
+	}
+}
+
+// parenMethodValueCall is the immediate form: the method value invoked
+// through parentheses without an intermediate variable.
+func parenMethodValueCall(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `call to ordering-sensitive method WriteString`
+		(sb.WriteString)(k)
+	}
+}
+
+// unboundLocalFuncIsFine: a local func value with no ordering-sensitive
+// binding stays silent (the closure writes per-key map entries).
+func unboundLocalFuncIsFine(m map[string]int, dst map[string]int) {
+	put := func(k string, v int) { dst[k] = v }
+	for k, v := range m {
+		put(k, v)
+	}
+}
+
 func nestedMapRange(outer map[int]map[int]string) []string {
 	var out []string
 	for i := 0; i < 3; i++ {

@@ -1,0 +1,12 @@
+// Package neg is the maporder negative-path fixture: a range over a
+// slice (deterministic order) with a "want" annotation that must NOT fire, proving
+// the harness reports unmatched expectations.
+package neg
+
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs { // want `this diagnostic never fires`
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package neg is the obspure negative-path fixture: a type whose OnStep
+// has the wrong signature implements neither hook interface, so its
+// state writes are out of scope — the "want" annotation must NOT fire, proving the
+// harness reports unmatched expectations.
+package neg
+
+import "sim"
+
+type notAHook struct{}
+
+func (n *notAHook) OnStep(st *sim.State) {
+	st.Step++ // want `this diagnostic never fires`
+}

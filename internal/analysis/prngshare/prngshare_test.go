@@ -1,0 +1,45 @@
+package prngshare
+
+import (
+	"strings"
+	"testing"
+
+	"ocd/internal/analysis/analyzertest"
+)
+
+// setCell points the analyzer at the fixture's cell type for one test
+// and restores the real default afterwards.
+func setCell(t *testing.T, v string) {
+	t.Helper()
+	old := cellFlag
+	if err := Analyzer.Flags.Set("cell", v); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cellFlag = old })
+}
+
+func TestPRNGShare(t *testing.T) {
+	setCell(t, "runner.Cell")
+	analyzertest.Run(t, "testdata", Analyzer, "a")
+}
+
+func TestNegativeFixture(t *testing.T) {
+	// A // want on a same-goroutine closure draw must stay unmatched,
+	// and the harness must surface that as a mismatch.
+	probs := analyzertest.Problems(t, "testdata", Analyzer, "neg")
+	if len(probs) != 1 || !strings.Contains(probs[0], "no diagnostic matched") {
+		t.Fatalf("want exactly one unmatched-expectation problem, got %q", probs)
+	}
+}
+
+func TestDefaultCellType(t *testing.T) {
+	if cellFlag != "ocd/internal/runner.Cell" {
+		t.Fatalf("default -cell = %q; the analyzer must target the real runner cell", cellFlag)
+	}
+}
+
+func TestDirectiveConstant(t *testing.T) {
+	if OkDirective != "//ocd:prngok" {
+		t.Fatalf("OkDirective = %q; suppressions in the tree rely on //ocd:prngok", OkDirective)
+	}
+}

@@ -1,0 +1,95 @@
+// Package a exercises the prngshare analyzer: PRNGs crossing into
+// goroutines, channels, or runner-cell Run closures must be flagged, and
+// cells that construct their own stream from the seed must stay silent.
+package a
+
+import (
+	"math/rand"
+
+	"runner"
+)
+
+func consume(rng *rand.Rand, done chan struct{}) { close(done) }
+
+func passedToGoroutine(rng *rand.Rand, done chan struct{}) {
+	go consume(rng, done) // want `PRNG rng passed to a goroutine`
+}
+
+func capturedByGoroutine(done chan struct{}) {
+	rng := rand.New(rand.NewSource(1))
+	go func() {
+		_ = rng.Int63() // want `PRNG rng captured by a goroutine`
+		close(done)
+	}()
+	_ = rng.Int63()
+}
+
+type holder struct{ rng *rand.Rand }
+
+func fieldThroughCapturedStruct(h *holder, done chan struct{}) {
+	go func() {
+		_ = h.rng.Int63() // want `PRNG h\.rng captured by a goroutine`
+		close(done)
+	}()
+}
+
+func sourceCapturedByGoroutine(src rand.Source, done chan struct{}) {
+	go func() {
+		_ = src.Int63() // want `PRNG src captured by a goroutine`
+		close(done)
+	}()
+}
+
+func sentOnChannel(ch chan *rand.Rand) {
+	ch <- rand.New(rand.NewSource(2)) // want `PRNG value sent on a channel`
+}
+
+func cellCapturesRand(base *rand.Rand) runner.Cell[int] {
+	return runner.Cell[int]{
+		Key: "k",
+		Run: func(seed int64) (int, error) {
+			return int(base.Int63()), nil // want `PRNG base referenced by a runner cell's Run closure`
+		},
+	}
+}
+
+type experiment struct{ rng *rand.Rand }
+
+func cellSharesStructField(e *experiment) runner.Cell[int] {
+	return runner.Cell[int]{
+		Key: "k2",
+		Run: func(seed int64) (int, error) {
+			return int(e.rng.Int63()), nil // want `PRNG e\.rng referenced by a runner cell's Run closure`
+		},
+	}
+}
+
+func cellOwnsItsRandIsFine() runner.Cell[int] {
+	return runner.Cell[int]{
+		Key: "k3",
+		Run: func(seed int64) (int, error) {
+			rng := rand.New(rand.NewSource(seed))
+			return int(rng.Int63()), nil
+		},
+	}
+}
+
+type notACell struct {
+	Run func(seed int64) (int, error)
+}
+
+// otherRunFieldsAreFine: only the configured cell type's Run closure is
+// constrained; an unrelated struct with a Run field is a plain closure.
+func otherRunFieldsAreFine(rng *rand.Rand) notACell {
+	return notACell{Run: func(seed int64) (int, error) { return int(rng.Int63()), nil }}
+}
+
+func suppressedWithReason(rng *rand.Rand, done chan struct{}) {
+	//ocd:prngok the goroutine joins via done before the next draw; handoff, not sharing
+	go consume(rng, done)
+}
+
+func suppressedWithoutReason(rng *rand.Rand, done chan struct{}) {
+	//ocd:prngok
+	go consume(rng, done) // want `directive requires a reason`
+}

@@ -1,0 +1,15 @@
+// Package neg is the prngshare negative-path fixture: a plain (non-go)
+// closure may use an outer PRNG — same goroutine, same owner — so the
+// "want" annotation must NOT fire, proving the harness reports unmatched
+// expectations.
+package neg
+
+import "math/rand"
+
+func sameGoroutineClosure(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	draw := func() int {
+		return rng.Intn(10) // want `this diagnostic never fires`
+	}
+	return draw()
+}

@@ -1,0 +1,11 @@
+// Package runner is a fixture stand-in for ocd/internal/runner: the
+// experiment cell whose Run closure must own its PRNG.
+package runner
+
+// Cell is one unit of experiment work; Run receives the derived seed and
+// must construct everything it mutates — including its PRNG — inside.
+type Cell[T any] struct {
+	Key     string
+	SeedKey string
+	Run     func(seed int64) (T, error)
+}

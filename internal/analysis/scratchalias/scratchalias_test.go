@@ -1,0 +1,52 @@
+package scratchalias
+
+import (
+	"strings"
+	"testing"
+
+	"ocd/internal/analysis/analyzertest"
+)
+
+// setRetainers points the analyzer at the fixture's retaining callee for
+// one test and restores the real default afterwards.
+func setRetainers(t *testing.T, v string) {
+	t.Helper()
+	old := retainersFlag
+	if err := Analyzer.Flags.Set("retainers", v); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { retainersFlag = old })
+}
+
+func TestScratchAlias(t *testing.T) {
+	setRetainers(t, "(sched.List).Append")
+	analyzertest.Run(t, "testdata", Analyzer, "a")
+}
+
+func TestNegativeFixture(t *testing.T) {
+	// A // want on returning a non-scratch buffer must stay unmatched,
+	// and the harness must surface that as a mismatch.
+	probs := analyzertest.Problems(t, "testdata", Analyzer, "neg")
+	if len(probs) != 1 || !strings.Contains(probs[0], "no diagnostic matched") {
+		t.Fatalf("want exactly one unmatched-expectation problem, got %q", probs)
+	}
+}
+
+func TestDirectiveConstants(t *testing.T) {
+	// Both directive strings are documented in DESIGN.md and grep-able; a
+	// silent rename would orphan every annotation in the tree.
+	if Directive != "//ocd:scratch" {
+		t.Fatalf("Directive = %q; annotations in the tree rely on //ocd:scratch", Directive)
+	}
+	if OkDirective != "//ocd:scratchok" {
+		t.Fatalf("OkDirective = %q; annotations in the tree rely on //ocd:scratchok", OkDirective)
+	}
+}
+
+func TestDefaultRetainerList(t *testing.T) {
+	// (core.Schedule).Append stores its Step argument in the schedule; if
+	// it falls out of the default list, the PR 4 aliasing class returns.
+	if retainersFlag != "(ocd/internal/core.Schedule).Append" {
+		t.Fatalf("default retainers = %q; want (ocd/internal/core.Schedule).Append", retainersFlag)
+	}
+}

@@ -1,0 +1,97 @@
+// Package a exercises the scratchalias analyzer: every escape of a
+// designated scratch buffer must be flagged, and the sanctioned patterns
+// (exact-size copies, scratch-to-scratch staging, justified directives)
+// must stay silent.
+package a
+
+import "sched"
+
+type planner struct {
+	//ocd:scratch
+	delivered []int
+	// moves is deliberately NOT scratch: returning it is the sanctioned
+	// per-step handoff.
+	moves []int
+	keep  []int
+}
+
+func returnsNamedScratch() []int {
+	scratch := make([]int, 0, 8)
+	scratch = append(scratch, 1)
+	return scratch // want `scratch buffer scratch is returned`
+}
+
+func returnsAnnotatedField(p *planner) []int {
+	p.delivered = p.delivered[:0]
+	return p.delivered // want `scratch buffer p\.delivered is returned`
+}
+
+func returnsTaintedReslice(p *planner) []int {
+	out := p.delivered[:0]
+	out = append(out, 7)
+	return out // want `scratch buffer out is returned`
+}
+
+func returnsMovesIsFine(p *planner) []int {
+	p.moves = p.moves[:0]
+	p.moves = append(p.moves, 1)
+	return p.moves
+}
+
+func storesInNonScratchField(p *planner) {
+	p.keep = p.delivered[:2] // want `scratch buffer p\.delivered stored in non-scratch field keep`
+}
+
+func scratchToScratchIsFine(p *planner) {
+	scratchView := p.delivered[:0]
+	p.delivered = append(scratchView, 3)
+}
+
+func exactSizeCopyIsFine(p *planner, l *sched.List) {
+	out := make([]int, len(p.delivered))
+	copy(out, p.delivered)
+	l.Append(out)
+}
+
+func passedToRetainer(p *planner, l *sched.List) {
+	l.Append(p.delivered) // want `scratch buffer p\.delivered passed to retaining callee \(sched\.List\)\.Append`
+}
+
+func sentOnChannel(p *planner, ch chan []int) {
+	ch <- p.delivered // want `scratch buffer p\.delivered sent on a channel`
+}
+
+func capturedByGoroutine(p *planner, done chan struct{}) {
+	go func() {
+		_ = p.delivered // want `scratch buffer p\.delivered captured by a goroutine`
+		close(done)
+	}()
+}
+
+func storedInComposite(p *planner) sched.List {
+	return sched.List{Steps: [][]int{
+		p.delivered, // want `scratch buffer p\.delivered stored in a composite literal`
+	}}
+}
+
+func storedInContainer(p *planner, steps [][]int) {
+	steps[0] = p.delivered // want `scratch buffer p\.delivered stored in a container element`
+}
+
+func suppressedWithReason(p *planner) []int {
+	//ocd:scratchok caller documented single-shot, never reused
+	return p.delivered
+}
+
+func suppressedWithoutReason(p *planner) []int {
+	//ocd:scratchok
+	return p.delivered // want `directive requires a reason`
+}
+
+func readingElementsIsFine(p *planner) int {
+	total := 0
+	for _, v := range p.delivered {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Package neg is the scratchalias negative-path fixture: returning a
+// non-scratch buffer with a "want" annotation that must NOT fire, proving the
+// harness reports unmatched expectations.
+package neg
+
+type planner struct {
+	moves []int
+}
+
+func returnsOwnedBuffer(p *planner) []int {
+	p.moves = append(p.moves[:0], 1)
+	return p.moves // want `this diagnostic never fires`
+}

@@ -1,0 +1,11 @@
+// Package sched is a fixture stand-in for ocd/internal/core: a container
+// whose Append method retains its argument.
+package sched
+
+// List retains every slice handed to Append.
+type List struct {
+	Steps [][]int
+}
+
+// Append stores st; the caller must not reuse st's backing array.
+func (l *List) Append(st []int) { l.Steps = append(l.Steps, st) }

@@ -1,0 +1,175 @@
+// Package selflint reconciles the repository's own vettool findings
+// with a checked-in suppressions ledger.
+//
+// The repo-wide acceptance criterion for the analyzers is not "zero
+// findings" but "zero unexplained findings": every diagnostic the six
+// analyzers produce over ./... must either be fixed or carry a ledger
+// entry with a justification, and every ledger entry must still match a
+// live finding (stale entries rot into blanket permissions). The test in
+// this package builds cmd/ocdlint, runs `go vet -json -vettool` over the
+// module, and fails on both unledgered findings and stale entries.
+//
+// The ledger is suppressions.txt next to this file. Lines are
+//
+//	<analyzer> <file:line> <justification>
+//
+// with #-comments and blank lines ignored. file is module-root-relative;
+// the column is deliberately dropped so reformatting within a line does
+// not invalidate entries. Prefer in-source directives (//ocd:scratchok,
+// //ocd:prngok, //ocd:orderinvariant) where an analyzer offers them —
+// the ledger is for findings with no directive, or for third-party code
+// the directives cannot touch.
+package selflint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic from the vettool, normalized for ledger
+// matching: Pos is module-root-relative file:line (no column).
+type Finding struct {
+	Analyzer string
+	Pos      string
+	Message  string
+}
+
+// Key is the identity findings and ledger entries are matched on.
+func (f Finding) Key() string { return f.Analyzer + " " + f.Pos }
+
+// Entry is one suppressions-ledger line.
+type Entry struct {
+	Analyzer      string
+	Pos           string
+	Justification string
+	// Line is the entry's line number in the ledger, for error messages.
+	Line int
+}
+
+// Key mirrors Finding.Key.
+func (e Entry) Key() string { return e.Analyzer + " " + e.Pos }
+
+// vetDiagnostic is the JSON shape `go vet -json` emits per diagnostic.
+type vetDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// ParseVetJSON parses a `go vet -json` stream: '#' package-header lines
+// interleaved with JSON objects mapping package path -> analyzer ->
+// diagnostics. root (with trailing separator behavior handled here) is
+// stripped from positions to make them module-relative.
+func ParseVetJSON(r io.Reader, root string) ([]Finding, error) {
+	var jsonText strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonText.WriteString(line)
+		jsonText.WriteString("\n")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("selflint: reading vet output: %w", err)
+	}
+
+	var findings []Finding
+	dec := json.NewDecoder(strings.NewReader(jsonText.String()))
+	for {
+		var byPkg map[string]map[string][]vetDiagnostic
+		if err := dec.Decode(&byPkg); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("selflint: decoding vet JSON: %w", err)
+		}
+		for _, byAnalyzer := range byPkg {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					findings = append(findings, Finding{
+						Analyzer: analyzer,
+						Pos:      normalizePos(d.Posn, root),
+						Message:  d.Message,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Key() < findings[j].Key() })
+	return findings, nil
+}
+
+// normalizePos strips the module root and the column from a vet
+// position, leaving root-relative file:line.
+func normalizePos(posn, root string) string {
+	if root != "" {
+		posn = strings.TrimPrefix(posn, strings.TrimSuffix(root, "/")+"/")
+	}
+	// file:line:col -> file:line (paths on the platforms we build for do
+	// not contain colons; vet always emits the column).
+	if i := strings.LastIndexByte(posn, ':'); i > 0 {
+		if j := strings.LastIndexByte(posn[:i], ':'); j > 0 {
+			posn = posn[:i]
+		}
+	}
+	return posn
+}
+
+// ParseLedger parses suppressions.txt: one entry per line, #-comments
+// and blanks ignored. Every entry must carry a justification — an
+// unexplained suppression is exactly what the ledger exists to prevent.
+func ParseLedger(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("selflint: suppressions line %d: want \"<analyzer> <file:line> <justification>\", got %q", line, text)
+		}
+		entries = append(entries, Entry{
+			Analyzer:      fields[0],
+			Pos:           fields[1],
+			Justification: strings.Join(fields[2:], " "),
+			Line:          line,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("selflint: reading suppressions: %w", err)
+	}
+	return entries, nil
+}
+
+// Reconcile diffs findings against ledger entries: findings with no
+// entry are unledgered (must be fixed or ledgered); entries with no
+// finding are stale (must be deleted). Both directions fail the
+// self-lint.
+func Reconcile(findings []Finding, entries []Entry) (unledgered []Finding, stale []Entry) {
+	ledgered := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		ledgered[e.Key()] = true
+	}
+	live := make(map[string]bool, len(findings))
+	for _, f := range findings {
+		live[f.Key()] = true
+		if !ledgered[f.Key()] {
+			unledgered = append(unledgered, f)
+		}
+	}
+	for _, e := range entries {
+		if !live[e.Key()] {
+			stale = append(stale, e)
+		}
+	}
+	return unledgered, stale
+}

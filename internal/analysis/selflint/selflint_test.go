@@ -1,0 +1,203 @@
+package selflint
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRepoSelfLint is the repo-wide self-lint driver: it builds
+// cmd/ocdlint, runs it as a vettool over every package in the module,
+// and reconciles the findings with the suppressions ledger. A finding
+// without a ledger entry fails; a ledger entry without a finding fails.
+// Skipped under -short (it compiles the whole tree).
+func TestRepoSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds ocdlint and vets the whole module; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+
+	bin := filepath.Join(t.TempDir(), "ocdlint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	build := exec.Command("go", "build", "-o", bin, "ocd/cmd/ocdlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ocdlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-json", "-vettool="+bin, "./...")
+	vet.Dir = root
+	var stdout, stderr bytes.Buffer
+	vet.Stdout = &stdout
+	vet.Stderr = &stderr
+	runErr := vet.Run()
+
+	// With -json the diagnostics stream on stderr and stdout stays empty;
+	// parse both so a toolchain that flips them still works.
+	findings, err := ParseVetJSON(strings.NewReader(stderr.String()+stdout.String()), root)
+	if err != nil {
+		t.Fatalf("parsing vet output: %v\nstderr:\n%s\nstdout:\n%s", err, stderr.String(), stdout.String())
+	}
+	// A vet exit error with no parsed findings means the run itself broke
+	// (build failure, bad flag), not that the analyzers found something.
+	if runErr != nil && len(findings) == 0 {
+		t.Fatalf("go vet failed: %v\nstderr:\n%s", runErr, stderr.String())
+	}
+
+	entries := loadLedger(t)
+	unledgered, stale := Reconcile(findings, entries)
+	for _, f := range unledgered {
+		t.Errorf("unledgered finding: %s: %s [%s]\n\tfix it, or add %q to suppressions.txt with a justification",
+			f.Pos, f.Message, f.Analyzer, f.Analyzer+" "+f.Pos)
+	}
+	for _, e := range stale {
+		t.Errorf("stale suppression (line %d): %q no longer matches any finding; delete it", e.Line, e.Key())
+	}
+	t.Logf("self-lint: %d findings, %d suppressed", len(findings), len(entries)-len(stale))
+}
+
+// moduleRoot resolves the module root from this package's position in
+// the tree (internal/analysis/selflint is three levels down).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+func loadLedger(t *testing.T) []Entry {
+	t.Helper()
+	f, err := os.Open("suppressions.txt")
+	if err != nil {
+		t.Fatalf("opening suppressions ledger: %v", err)
+	}
+	defer f.Close()
+	entries, err := ParseLedger(f)
+	if err != nil {
+		t.Fatalf("parsing suppressions ledger: %v", err)
+	}
+	return entries
+}
+
+// TestLedgerParses keeps the checked-in ledger syntactically valid even
+// under -short, where the full self-lint is skipped.
+func TestLedgerParses(t *testing.T) {
+	loadLedger(t)
+}
+
+const sampleVetJSON = `# ocd/internal/fake
+{
+	"ocd/internal/fake": {
+		"scratchalias": [
+			{
+				"posn": "/work/repo/internal/fake/fake.go:10:2",
+				"message": "scratch buffer buf returned to caller"
+			},
+			{
+				"posn": "/work/repo/internal/fake/fake.go:20:3",
+				"message": "scratch buffer tmp stored in a composite literal"
+			}
+		]
+	}
+}
+# ocd/internal/other
+{
+	"ocd/internal/other": {
+		"prngshare": [
+			{
+				"posn": "/work/repo/internal/other/o.go:7:5",
+				"message": "*rand.Rand rng captured by goroutine closure"
+			}
+		]
+	}
+}
+`
+
+func TestParseVetJSON(t *testing.T) {
+	findings, err := ParseVetJSON(strings.NewReader(sampleVetJSON), "/work/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Finding{
+		{Analyzer: "prngshare", Pos: "internal/other/o.go:7", Message: "*rand.Rand rng captured by goroutine closure"},
+		{Analyzer: "scratchalias", Pos: "internal/fake/fake.go:10", Message: "scratch buffer buf returned to caller"},
+		{Analyzer: "scratchalias", Pos: "internal/fake/fake.go:20", Message: "scratch buffer tmp stored in a composite literal"},
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d: %+v", len(findings), len(want), findings)
+	}
+	for i := range want {
+		if findings[i] != want[i] {
+			t.Errorf("finding[%d] = %+v, want %+v", i, findings[i], want[i])
+		}
+	}
+}
+
+func TestParseVetJSONGarbage(t *testing.T) {
+	if _, err := ParseVetJSON(strings.NewReader("not json at all"), ""); err == nil {
+		t.Fatal("want error for non-JSON vet output")
+	}
+}
+
+func TestParseLedger(t *testing.T) {
+	ledger := `# header comment
+
+scratchalias internal/fake/fake.go:10 vendored benchmark helper, buffer lifetime audited 2026-08
+prngshare internal/other/o.go:7 goroutine joins before next use; see run loop
+`
+	entries, err := ParseLedger(strings.NewReader(ledger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(entries), entries)
+	}
+	if entries[0].Key() != "scratchalias internal/fake/fake.go:10" || entries[0].Line != 3 {
+		t.Errorf("entry[0] = %+v", entries[0])
+	}
+	if entries[1].Justification != "goroutine joins before next use; see run loop" {
+		t.Errorf("entry[1] justification = %q", entries[1].Justification)
+	}
+}
+
+func TestParseLedgerRejectsBareEntry(t *testing.T) {
+	if _, err := ParseLedger(strings.NewReader("scratchalias internal/fake/fake.go:10\n")); err == nil {
+		t.Fatal("want error for ledger entry without justification")
+	}
+}
+
+func TestReconcile(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "scratchalias", Pos: "a.go:1", Message: "m1"},
+		{Analyzer: "prngshare", Pos: "b.go:2", Message: "m2"},
+	}
+	entries := []Entry{
+		{Analyzer: "scratchalias", Pos: "a.go:1", Justification: "ok", Line: 3},
+		{Analyzer: "maporder", Pos: "c.go:9", Justification: "gone", Line: 4},
+	}
+	unledgered, stale := Reconcile(findings, entries)
+	if len(unledgered) != 1 || unledgered[0].Key() != "prngshare b.go:2" {
+		t.Errorf("unledgered = %+v", unledgered)
+	}
+	if len(stale) != 1 || stale[0].Key() != "maporder c.go:9" {
+		t.Errorf("stale = %+v", stale)
+	}
+}
+
+func TestReconcileCleanTree(t *testing.T) {
+	unledgered, stale := Reconcile(nil, nil)
+	if len(unledgered) != 0 || len(stale) != 0 {
+		t.Errorf("empty inputs should reconcile cleanly, got %+v / %+v", unledgered, stale)
+	}
+}

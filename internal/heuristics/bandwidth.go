@@ -30,19 +30,26 @@ type bandwidthRequest struct{ v, t int }
 
 type bandwidthStrategy struct {
 	// Scratch buffers reused across turns.
-	rem   residual
-	dist  []int
+	rem residual
+	//ocd:scratch
+	dist []int
+	//ocd:scratch
 	label []int
+	//ocd:scratch
 	queue []int
 	// needers/oneHop/requests/moves are per-turn work lists; seen is a
 	// generation-stamped visited array (one generation per token per turn)
 	// replacing the old per-turn map keyed by (target, token).
-	needers  []int
-	oneHop   []int
+	//ocd:scratch
+	needers []int
+	//ocd:scratch
+	oneHop []int
+	//ocd:scratch
 	requests []bandwidthRequest
 	moves    []core.Move
-	seen     []uint32
-	seenGen  uint32
+	//ocd:scratch
+	seen    []uint32
+	seenGen uint32
 }
 
 func newBandwidth(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {

@@ -35,10 +35,15 @@ type localDelayed struct {
 	// buffers are reused.
 	rem    residual
 	sorter raritySorter
+	//ocd:scratch
 	counts []int
-	perm   []int
+	//ocd:scratch
+	perm []int
+	//ocd:scratch
 	wanted tokenset.Set
-	other  tokenset.Set
+	//ocd:scratch
+	other tokenset.Set
+	//ocd:scratch
 	tokens []int
 	moves  []core.Move
 }
@@ -84,11 +89,9 @@ func (l *localDelayed) Plan(st *sim.State) []core.Move {
 	l.moves = l.moves[:0]
 	l.perm = permInto(l.perm, st.Rand, st.Inst.N())
 	for _, v := range l.perm {
-		in := st.Inst.G.In(v)
-		if len(in) == 0 {
+		if len(st.Inst.G.In(v)) == 0 {
 			continue
 		}
-		inIDs := st.Inst.G.InArcIDs(v)
 		// Own state is always current; peer states come from the view.
 		st.MissingInto(v, l.wanted)
 		st.LackingInto(v, l.other)
@@ -96,27 +99,36 @@ func (l *localDelayed) Plan(st *sim.State) []core.Move {
 		l.tokens = appendTokensByRarity(&l.sorter, l.tokens[:0], l.wanted, l.counts, st.Inst.N(), st.Rand)
 		wantedEnd := len(l.tokens)
 		l.tokens = appendTokensByRarity(&l.sorter, l.tokens, l.other, l.counts, st.Inst.N(), st.Rand)
-		for _, class := range [][]int{l.tokens[:wantedEnd], l.tokens[wantedEnd:]} {
-			for _, t := range class {
-				best := -1
-				var bestID int32
-				seen := 0
-				for i, a := range in {
-					if !view[a.From].Has(t) || l.rem.leftID(inIDs[i]) <= 0 {
-						continue
-					}
-					seen++
-					if st.Rand.Intn(seen) == 0 {
-						best, bestID = a.From, inIDs[i]
-					}
-				}
-				if best == -1 {
-					continue
-				}
-				l.rem.takeID(bestID)
-				l.moves = append(l.moves, core.Move{From: best, To: v, Token: t})
-			}
-		}
+		// Wanted before diversity, via plain calls so the scratch buffer
+		// never lands in a composite literal (see localStrategy.requestClass).
+		l.requestClass(st, view, v, l.tokens[:wantedEnd])
+		l.requestClass(st, view, v, l.tokens[wantedEnd:])
 	}
 	return l.moves
+}
+
+// requestClass assigns each token in class to a random in-neighbor of v
+// holding it in the stale view, with residual capacity, in class order.
+func (l *localDelayed) requestClass(st *sim.State, view []tokenset.Set, v int, class []int) {
+	in := st.Inst.G.In(v)
+	inIDs := st.Inst.G.InArcIDs(v)
+	for _, t := range class {
+		best := -1
+		var bestID int32
+		seen := 0
+		for i, a := range in {
+			if !view[a.From].Has(t) || l.rem.leftID(inIDs[i]) <= 0 {
+				continue
+			}
+			seen++
+			if st.Rand.Intn(seen) == 0 {
+				best, bestID = a.From, inIDs[i]
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		l.rem.takeID(bestID)
+		l.moves = append(l.moves, core.Move{From: best, To: v, Token: t})
+	}
 }

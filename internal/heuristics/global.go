@@ -26,15 +26,22 @@ var Global sim.Factory = newGlobal
 // and the per-token in-flight counters are cleared and refilled at the top
 // of every Plan call instead of being reallocated.
 type globalStrategy struct {
-	rem        residual
-	inFlight   []int
-	scheduled  []tokenset.Set
+	rem residual
+	//ocd:scratch
+	inFlight []int
+	//ocd:scratch
+	scheduled []tokenset.Set
+	//ocd:scratch
 	wantedLeft []tokenset.Set
-	lackLeft   []tokenset.Set
+	//ocd:scratch
+	lackLeft []tokenset.Set
+	//ocd:scratch
 	obtainable tokenset.Set
-	pickable   tokenset.Set
-	perm       []int
-	moves      []core.Move
+	//ocd:scratch
+	pickable tokenset.Set
+	//ocd:scratch
+	perm  []int
+	moves []core.Move
 }
 
 func newGlobal(inst *core.Instance, _ *rand.Rand) (sim.Strategy, error) {

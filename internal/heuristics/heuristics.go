@@ -62,7 +62,8 @@ func All() []sim.Factory {
 // step's effective graph — the fault/dynamic engines rebuild the graph
 // between steps, so arc IDs are only stable within a single Plan.
 type residual struct {
-	g   *graph.Graph
+	g *graph.Graph
+	//ocd:scratch
 	rem []int
 }
 
@@ -107,8 +108,10 @@ func (r *residual) left(u, v int) int {
 // bounded by the vertex count) and a staging buffer. One lives in each
 // rarest-random strategy so sorting allocates nothing in steady state.
 type raritySorter struct {
+	//ocd:scratch
 	bucket []int
-	tmp    []int
+	//ocd:scratch
+	tmp []int
 }
 
 // sortByCount stably sorts tokens ascending by counts[t]. Counts are vertex

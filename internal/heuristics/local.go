@@ -26,9 +26,13 @@ var Local sim.Factory = newLocal
 type localStrategy struct {
 	rem    residual
 	sorter raritySorter
-	perm   []int
+	//ocd:scratch
+	perm []int
+	//ocd:scratch
 	wanted tokenset.Set
-	other  tokenset.Set
+	//ocd:scratch
+	other tokenset.Set
+	//ocd:scratch
 	tokens []int
 	moves  []core.Move
 }
@@ -57,11 +61,9 @@ func (l *localStrategy) Plan(st *sim.State) []core.Move {
 // with residual capacity, wanted tokens first, rarest first within each
 // class.
 func (l *localStrategy) appendRequests(st *sim.State, counts []int, v int) {
-	in := st.Inst.G.In(v)
-	if len(in) == 0 {
+	if len(st.Inst.G.In(v)) == 0 {
 		return
 	}
-	inIDs := st.Inst.G.InArcIDs(v)
 	st.MissingInto(v, l.wanted)
 	st.LackingInto(v, l.other)
 	l.other.DifferenceWith(l.wanted)
@@ -71,26 +73,36 @@ func (l *localStrategy) appendRequests(st *sim.State, counts []int, v int) {
 	l.tokens = appendTokensByRarity(&l.sorter, l.tokens[:0], l.wanted, counts, n, st.Rand)
 	wantedEnd := len(l.tokens)
 	l.tokens = appendTokensByRarity(&l.sorter, l.tokens, l.other, counts, n, st.Rand)
-	for _, class := range [][]int{l.tokens[:wantedEnd], l.tokens[wantedEnd:]} {
-		for _, t := range class {
-			// Pick a random holder among in-neighbors with spare capacity.
-			best := -1
-			var bestID int32
-			seen := 0
-			for i, a := range in {
-				if !st.Possess[a.From].Has(t) || l.rem.leftID(inIDs[i]) <= 0 {
-					continue
-				}
-				seen++
-				if st.Rand.Intn(seen) == 0 {
-					best, bestID = a.From, inIDs[i]
-				}
-			}
-			if best == -1 {
+	// Wanted tokens before diversity tokens. Passing the two reslices as
+	// plain call arguments keeps the scratch buffer out of any composite
+	// literal, which scratchalias cannot prove transient.
+	l.requestClass(st, v, l.tokens[:wantedEnd])
+	l.requestClass(st, v, l.tokens[wantedEnd:])
+}
+
+// requestClass assigns each token in class to a random in-neighbor holder
+// of v with residual capacity, in class order.
+func (l *localStrategy) requestClass(st *sim.State, v int, class []int) {
+	in := st.Inst.G.In(v)
+	inIDs := st.Inst.G.InArcIDs(v)
+	for _, t := range class {
+		// Pick a random holder among in-neighbors with spare capacity.
+		best := -1
+		var bestID int32
+		seen := 0
+		for i, a := range in {
+			if !st.Possess[a.From].Has(t) || l.rem.leftID(inIDs[i]) <= 0 {
 				continue
 			}
-			l.rem.takeID(bestID)
-			l.moves = append(l.moves, core.Move{From: best, To: v, Token: t})
+			seen++
+			if st.Rand.Intn(seen) == 0 {
+				best, bestID = a.From, inIDs[i]
+			}
 		}
+		if best == -1 {
+			continue
+		}
+		l.rem.takeID(bestID)
+		l.moves = append(l.moves, core.Move{From: best, To: v, Token: t})
 	}
 }

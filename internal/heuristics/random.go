@@ -19,7 +19,9 @@ var Random sim.Factory = newRandom
 // randomStrategy reuses one candidate set and one token buffer for every
 // arc it plans, instead of materializing a fresh difference set per arc.
 type randomStrategy struct {
-	cand  tokenset.Set
+	//ocd:scratch
+	cand tokenset.Set
+	//ocd:scratch
 	buf   []int
 	moves []core.Move
 }

@@ -138,15 +138,20 @@ func (eng *Engine) Run(inst *core.Instance, strat Strategy, st *State, res *Resu
 	// capacity model the effective view is the static capacities, copied
 	// once (CapsByID is the graph's own storage).
 	numArcs := inst.G.NumArcs()
+	//ocd:scratch
 	eff := make([]int, numArcs)
 	if eng.Capacity == nil {
 		copy(eff, inst.G.CapsByID())
 	}
+	//ocd:scratch
 	used := make([]int, numArcs)
 	// accepted/acceptedIDs/delivered are scratch buffers reused across
 	// steps; the schedule only ever retains exact-size copies.
+	//ocd:scratch
 	var accepted core.Step
+	//ocd:scratch
 	var acceptedIDs []int
+	//ocd:scratch
 	var delivered core.Step
 	idle := 0
 

@@ -80,8 +80,10 @@ type InvariantMonitor struct {
 	cfg  InvariantConfig
 
 	arcsByID []graph.Arc // dense arc ID → base arc
-	used     []int       // accepted moves per arc ID, this step
-	touched  []int       // arc IDs with non-zero usage, for O(touched) reset
+	//ocd:scratch accepted moves per arc ID, this step
+	used []int
+	//ocd:scratch arc IDs with non-zero usage, for O(touched) reset
+	touched  []int
 	lastStep int
 
 	// everDelivered[v] accumulates every token v took delivery of; the

@@ -48,11 +48,13 @@ type StepRecord struct {
 // executed timestep into Records. One collector serves one run.
 type StepCollector struct {
 	totalCap int
-	arcLoad  []int // accepted moves per base arc ID, this step
-	touched  []int // arc IDs with non-zero load, for O(touched) reset
-	moves    int
-	losses   int
-	rejects  int
+	//ocd:scratch accepted moves per base arc ID, this step
+	arcLoad []int
+	//ocd:scratch arc IDs with non-zero load, for O(touched) reset
+	touched []int
+	moves   int
+	losses  int
+	rejects int
 	// Records holds the finished per-step records in step order.
 	Records []StepRecord
 }

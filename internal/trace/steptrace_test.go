@@ -31,6 +31,34 @@ func collectRun(t *testing.T) (*StepCollector, *sim.Result) {
 	return col, res
 }
 
+// TestObserverDoesNotPerturbRun is the runtime half of the obspure
+// contract: attaching a collector must leave the schedule byte-identical
+// to an unobserved run of the same (instance, strategy, seed).
+func TestObserverDoesNotPerturbRun(t *testing.T) {
+	g, err := topology.Random(40, topology.DefaultCaps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.SingleFile(g, 30)
+	opts := sim.Options{Seed: 5, LossRate: 0.2, IdlePatience: 20}
+	bare, err := sim.Run(inst, heuristics.Local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Observer = NewStepCollector(inst)
+	observed, err := sim.Run(inst, heuristics.Local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.Schedule.Steps, observed.Schedule.Steps) {
+		t.Error("attaching a StepCollector changed the schedule")
+	}
+	if bare.Lost != observed.Lost || bare.Steps != observed.Steps {
+		t.Errorf("observer changed run stats: bare %d lost/%d steps, observed %d lost/%d steps",
+			bare.Lost, bare.Steps, observed.Lost, observed.Steps)
+	}
+}
+
 func TestStepCollectorMatchesResult(t *testing.T) {
 	col, res := collectRun(t)
 	if len(col.Records) != res.Schedule.Makespan() {
