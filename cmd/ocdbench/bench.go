@@ -21,12 +21,17 @@ import (
 // cost of every heuristic, recorded per revision so regressions show up as
 // a diff against the committed file.
 type benchReport struct {
-	Schema     string      `json:"schema"`
-	Revision   string      `json:"revision"`
-	Scale      string      `json:"scale"`
+	Schema   string `json:"schema"`
+	Revision string `json:"revision"`
+	Scale    string `json:"scale"`
+	// GoMaxProcs is runtime.GOMAXPROCS at measurement time and NumCPU the
+	// machine's logical CPU count — recorded honestly so the parallel-vs-
+	// serial speedup figure can be judged against the hardware it ran on.
 	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numcpu"`
 	Grid       gridBench   `json:"grid"`
 	Heuristics []heurBench `json:"heuristics"`
+	Solver     solverBench `json:"solver"`
 }
 
 // gridBench times the same (graph × heuristic × repeat) cell grid serially
@@ -72,25 +77,33 @@ func benchRevision(override string) string {
 }
 
 type benchParams struct {
-	sizes      []int
-	tokens     int
-	graphSeeds int
-	repeats    int
-	heurN      int
-	heurTokens int
-	heurRuns   int
+	sizes           []int
+	tokens          int
+	graphSeeds      int
+	repeats         int
+	heurN           int
+	heurTokens      int
+	heurRuns        int
+	solverInstances int
+	solverN         int
+	solverM         int
 }
 
+// The solver set is identical at both scales (it costs well under a
+// second): that way the quick CI smoke run compares its solver counters
+// directly against the committed full-scale baseline instead of skipping.
 func benchScale(quick bool) (string, benchParams) {
 	if quick {
 		return "quick", benchParams{
 			sizes: []int{30, 60}, tokens: 40, graphSeeds: 2, repeats: 2,
 			heurN: 60, heurTokens: 40, heurRuns: 3,
+			solverInstances: 8, solverN: 6, solverM: 3,
 		}
 	}
 	return "full", benchParams{
 		sizes: []int{50, 100}, tokens: 100, graphSeeds: 3, repeats: 3,
 		heurN: 100, heurTokens: 100, heurRuns: 5,
+		solverInstances: 8, solverN: 6, solverM: 3,
 	}
 }
 
@@ -204,6 +217,11 @@ func validateBench(data []byte) error {
 			return fmt.Errorf("bench report heuristic entry invalid: %+v", h)
 		}
 	}
+	s := r.Solver
+	if s.Instances <= 0 || s.ObjectiveSum <= 0 || s.BnBNodes <= 0 ||
+		s.SimplexIterations <= 0 || s.Seconds <= 0 || s.NodesPerSec <= 0 {
+		return fmt.Errorf("bench report solver metrics not positive: %+v", s)
+	}
 	return nil
 }
 
@@ -251,11 +269,53 @@ func compareBench(report benchReport, baselinePath string, tol float64, stdout i
 				b.Name, h.AllocsPerStep, b.AllocsPerStep, tol*100))
 		}
 	}
+	failures = append(failures, compareSolver(report.Solver, base.Solver, base.Revision, tol, stdout)...)
 	if len(failures) > 0 {
 		return fmt.Errorf("bench regression vs %s:\n  %s", baselinePath, joinLines(failures))
 	}
 	fmt.Fprintf(stdout, "compare: no regression vs %s (tolerance %.0f%%)\n", base.Revision, tol*100)
 	return nil
+}
+
+// compareSolver gates the solver section. BnBNodes and SimplexIterations
+// are deterministic counters of the branch-and-bound on the pinned
+// instance set, so exceeding the baseline by more than tol is a genuine
+// algorithmic regression, not machine noise; ObjectiveSum must match
+// exactly — a drift there means the solver returned a different "optimum"
+// and the build must fail regardless of speed. Baselines written before
+// the solver section existed (zero Instances) are skipped with a note, as
+// are baselines for a different pinned set (different scale or seed).
+func compareSolver(fresh, base solverBench, baseRev string, tol float64, stdout io.Writer) []string {
+	if base.Instances == 0 {
+		fmt.Fprintf(stdout, "compare solver: baseline %s predates the solver section; skipping\n", baseRev)
+		return nil
+	}
+	if base.Seed != fresh.Seed || base.Instances != fresh.Instances ||
+		base.Vertices != fresh.Vertices || base.Tokens != fresh.Tokens {
+		fmt.Fprintf(stdout, "compare solver: baseline %s pins a different instance set; skipping\n", baseRev)
+		return nil
+	}
+	fmt.Fprintf(stdout, "compare solver: iterations %d -> %d (%+.1f%%), nodes %d -> %d, objective sum %d -> %d\n",
+		base.SimplexIterations, fresh.SimplexIterations,
+		(float64(fresh.SimplexIterations)/float64(base.SimplexIterations)-1)*100,
+		base.BnBNodes, fresh.BnBNodes, base.ObjectiveSum, fresh.ObjectiveSum)
+	var failures []string
+	if fresh.ObjectiveSum != base.ObjectiveSum {
+		failures = append(failures, fmt.Sprintf(
+			"solver: objective sum %d differs from baseline %d — optimality or determinism broke",
+			fresh.ObjectiveSum, base.ObjectiveSum))
+	}
+	if float64(fresh.SimplexIterations) > float64(base.SimplexIterations)*(1+tol) {
+		failures = append(failures, fmt.Sprintf(
+			"solver: simplex iterations %d exceed baseline %d by more than %.0f%%",
+			fresh.SimplexIterations, base.SimplexIterations, tol*100))
+	}
+	if float64(fresh.BnBNodes) > float64(base.BnBNodes)*(1+tol) {
+		failures = append(failures, fmt.Sprintf(
+			"solver: branch-and-bound nodes %d exceed baseline %d by more than %.0f%%",
+			fresh.BnBNodes, base.BnBNodes, tol*100))
+	}
+	return failures
 }
 
 func joinLines(lines []string) string {
@@ -280,6 +340,7 @@ func runBench(quick bool, rev, outDir string, stdout io.Writer) (benchReport, er
 		Revision:   benchRevision(rev),
 		Scale:      scale,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 
 	grid, err := benchGrid(p)
@@ -304,6 +365,15 @@ func runBench(quick bool, rev, outDir string, stdout io.Writer) (benchReport, er
 		fmt.Fprintf(stdout, "%s: %.0f ns/step, %.1f allocs/step (%d steps)\n",
 			h.Name, h.NsPerStep, h.AllocsPerStep, h.Steps)
 	}
+
+	solver, err := benchSolver(p)
+	if err != nil {
+		return benchReport{}, err
+	}
+	report.Solver = solver
+	fmt.Fprintf(stdout, "solver: %d instances, %d nodes, %d simplex iterations, %d warm starts, %.1f nodes/sec, objective sum %d\n",
+		solver.Instances, solver.BnBNodes, solver.SimplexIterations,
+		solver.WarmStarts, solver.NodesPerSec, solver.ObjectiveSum)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ocd/internal/core"
+	"ocd/internal/exact"
+	"ocd/internal/experiments"
+	"ocd/internal/ilp"
+)
+
+// solverBench is the solver section of the bench report: the warm-started
+// branch-and-bound over the bounded-variable simplex, run on a pinned
+// seeded instance set so the counters are comparable across revisions.
+// BnBNodes and SimplexIterations are deterministic (the solver has no
+// random choices), so -compare can gate them tightly; Seconds and
+// NodesPerSec carry machine noise and are informational.
+type solverBench struct {
+	Seed      int64 `json:"seed"`
+	Instances int   `json:"instances"`
+	Vertices  int   `json:"vertices"`
+	Tokens    int   `json:"tokens"`
+	// ObjectiveSum is the sum of optimal bandwidth objectives across the
+	// set — a correctness pin: it must match the baseline exactly.
+	ObjectiveSum      int     `json:"objective_sum"`
+	BnBNodes          int     `json:"bnb_nodes"`
+	SimplexIterations int     `json:"simplex_iterations"`
+	WarmStarts        int     `json:"warm_starts"`
+	Seconds           float64 `json:"seconds"`
+	NodesPerSec       float64 `json:"nodes_per_sec"`
+}
+
+// solverBenchSeed pins the instance set; changing it (or the generator in
+// internal/experiments) invalidates committed solver baselines.
+const solverBenchSeed = 7
+
+// benchSolver solves the §3.4 time-indexed integer program to optimality
+// on every instance of the pinned set, validating each extracted schedule,
+// and accumulates the branch-and-bound counters. The horizon is the FOCD
+// optimum plus one slack step, matching the ILP↔exact cross-check.
+func benchSolver(p benchParams) (solverBench, error) {
+	out := solverBench{
+		Seed:      solverBenchSeed,
+		Instances: p.solverInstances,
+		Vertices:  p.solverN,
+		Tokens:    p.solverM,
+	}
+	insts := experiments.RandomTinyInstances(solverBenchSeed, p.solverInstances, p.solverN, p.solverM)
+	start := time.Now()
+	for i, inst := range insts {
+		fast, err := exact.SolveFOCD(inst, exact.Options{})
+		if err != nil {
+			return solverBench{}, fmt.Errorf("solver bench instance %d focd: %w", i, err)
+		}
+		prog, err := ilp.Build(inst, fast.Makespan()+1)
+		if err != nil {
+			return solverBench{}, fmt.Errorf("solver bench instance %d build: %w", i, err)
+		}
+		sched, obj, stats, err := prog.SolveStats(ilp.Options{})
+		if err != nil {
+			return solverBench{}, fmt.Errorf("solver bench instance %d solve: %w", i, err)
+		}
+		if err := core.Validate(inst, sched); err != nil {
+			return solverBench{}, fmt.Errorf("solver bench instance %d: invalid schedule: %w", i, err)
+		}
+		out.ObjectiveSum += obj
+		out.BnBNodes += stats.Nodes
+		out.SimplexIterations += stats.SimplexIterations
+		out.WarmStarts += stats.WarmStarts
+	}
+	out.Seconds = time.Since(start).Seconds()
+	out.NodesPerSec = float64(out.BnBNodes) / out.Seconds
+	return out, nil
+}

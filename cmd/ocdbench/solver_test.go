@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func solverFixture(iters, nodes, objSum int) solverBench {
+	return solverBench{
+		Seed: solverBenchSeed, Instances: 8, Vertices: 6, Tokens: 3,
+		ObjectiveSum: objSum, BnBNodes: nodes, SimplexIterations: iters,
+		Seconds: 0.01, NodesPerSec: float64(nodes) / 0.01,
+	}
+}
+
+func TestCompareSolver(t *testing.T) {
+	base := solverFixture(200, 20, 9)
+	var out bytes.Buffer
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		if fails := compareSolver(solverFixture(205, 20, 9), base, "base", 0.05, &out); len(fails) > 0 {
+			t.Errorf("small drift rejected: %v", fails)
+		}
+	})
+	t.Run("fewer iterations passes", func(t *testing.T) {
+		if fails := compareSolver(solverFixture(50, 10, 9), base, "base", 0.05, &out); len(fails) > 0 {
+			t.Errorf("improvement rejected: %v", fails)
+		}
+	})
+	t.Run("iteration blowup fails", func(t *testing.T) {
+		fails := compareSolver(solverFixture(400, 20, 9), base, "base", 0.05, &out)
+		if len(fails) != 1 || !strings.Contains(fails[0], "simplex iterations") {
+			t.Errorf("2x iteration regression accepted: %v", fails)
+		}
+	})
+	t.Run("node blowup fails", func(t *testing.T) {
+		fails := compareSolver(solverFixture(200, 60, 9), base, "base", 0.05, &out)
+		if len(fails) != 1 || !strings.Contains(fails[0], "nodes") {
+			t.Errorf("3x node regression accepted: %v", fails)
+		}
+	})
+	t.Run("objective drift always fails", func(t *testing.T) {
+		fails := compareSolver(solverFixture(50, 10, 8), base, "base", 0.05, &out)
+		if len(fails) != 1 || !strings.Contains(fails[0], "objective sum") {
+			t.Errorf("wrong optimum accepted because it was fast: %v", fails)
+		}
+	})
+	t.Run("pre-section baseline skipped", func(t *testing.T) {
+		if fails := compareSolver(solverFixture(200, 20, 9), solverBench{}, "old", 0.05, &out); len(fails) > 0 {
+			t.Errorf("legacy baseline not skipped: %v", fails)
+		}
+	})
+	t.Run("different pinned set skipped", func(t *testing.T) {
+		other := solverFixture(9999, 999, 48)
+		other.Instances, other.Vertices, other.Tokens = 4, 5, 2
+		if fails := compareSolver(solverFixture(200, 20, 9), other, "other", 0.05, &out); len(fails) > 0 {
+			t.Errorf("mismatched instance set compared anyway: %v", fails)
+		}
+	})
+}
+
+// TestBenchSolverQuick runs the real pinned set end to end: the counters
+// must be deterministic across runs and the objective sum is pinned — it
+// changes only if the solver stack or the instance generator changes,
+// both of which invalidate committed baselines.
+func TestBenchSolverQuick(t *testing.T) {
+	_, p := benchScale(true)
+	first, err := benchSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ObjectiveSum != 48 {
+		t.Errorf("pinned set objective sum = %d, want 48", first.ObjectiveSum)
+	}
+	second, err := benchSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.BnBNodes != second.BnBNodes || first.SimplexIterations != second.SimplexIterations ||
+		first.ObjectiveSum != second.ObjectiveSum || first.WarmStarts != second.WarmStarts {
+		t.Errorf("solver bench not deterministic: %+v vs %+v", first, second)
+	}
+	if first.SimplexIterations <= 0 || first.BnBNodes <= 0 || first.NodesPerSec <= 0 {
+		t.Errorf("solver bench counters not positive: %+v", first)
+	}
+}

@@ -1,12 +1,19 @@
 package exact
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"ocd/internal/core"
 	"ocd/internal/tokenset"
 )
+
+// errOptimal is an internal sentinel: the incumbent has met the global
+// §5.1 bandwidth lower bound, so the rest of the search tree cannot
+// improve on it and the whole search stops early. internal/ilp applies
+// the same certificate to its branch-and-bound loop.
+var errOptimal = errors.New("exact: incumbent meets global lower bound")
 
 // SolveEOCD returns a successful schedule using the minimum number of moves
 // (the EOCD optimum) among schedules of length at most horizon. With
@@ -30,18 +37,19 @@ func SolveEOCD(inst *core.Instance, horizon int, opts Options) (*core.Schedule, 
 		horizon = inst.TheoremOneHorizon()
 	}
 	s := &eocdSearch{
-		inst:    inst,
-		budget:  opts.nodes(),
-		best:    nil,
-		memo:    make(map[memoKey]int),
-		relSink: relevanceSets(inst),
+		inst:     inst,
+		budget:   opts.nodes(),
+		best:     nil,
+		memo:     make(map[memoKey]int),
+		relSink:  relevanceSets(inst),
+		globalLB: core.BandwidthLowerBound(inst, nil),
 	}
 	start := inst.InitialPossession()
 	if core.Done(inst, start) {
 		return &core.Schedule{}, nil
 	}
 	s.cur = &core.Schedule{}
-	if err := s.dfs(start, horizon, 0); err != nil {
+	if err := s.dfs(start, horizon, 0); err != nil && !errors.Is(err, errOptimal) {
 		return nil, err
 	}
 	if s.best == nil {
@@ -68,6 +76,10 @@ type eocdSearch struct {
 	// relSink[t] is the set of vertices from which some wanter of t is
 	// reachable: moves delivering t elsewhere can never help.
 	relSink []tokenset.Set
+	// globalLB is the §5.1 bandwidth lower bound from the initial
+	// possession — a certificate of optimality for any incumbent that
+	// reaches it.
+	globalLB int
 }
 
 // relevanceSets computes, per token, the set of vertices that can still be
@@ -100,6 +112,9 @@ func (s *eocdSearch) dfs(possess []tokenset.Set, left, cost int) error {
 		if s.best == nil || cost < s.bestLen {
 			s.best = s.cur.Clone()
 			s.bestLen = cost
+			if s.bestLen <= s.globalLB {
+				return errOptimal
+			}
 		}
 		return nil
 	}

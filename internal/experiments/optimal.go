@@ -68,11 +68,7 @@ func ILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
 	}
 	// Instances are drawn serially from one RNG stream; the two exact
 	// solves per instance (deterministic, seed-free) fan out as cells.
-	rng := rand.New(rand.NewSource(seed))
-	insts := make([]*core.Instance, instances)
-	for i := range insts {
-		insts[i] = randomTinyInstance(rng, n, m)
-	}
+	insts := RandomTinyInstances(seed, instances, n, m)
 	type crossCell struct {
 		n, tokens, tau, ilpBW, bnbBW int
 	}
@@ -112,6 +108,20 @@ func ILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
 		t.AddRow(i, res.n, res.tokens, res.tau, res.ilpBW, res.bnbBW, res.ilpBW == res.bnbBW)
 	}
 	return t, nil
+}
+
+// RandomTinyInstances draws count seeded instances from a single RNG
+// stream. The solver benchmark in cmd/ocdbench and the ILP↔exact parity
+// tests share this generator, so "the pinned solver bench set" names the
+// same instances everywhere; changing it invalidates committed solver
+// baselines.
+func RandomTinyInstances(seed int64, count, n, m int) []*core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*core.Instance, count)
+	for i := range out {
+		out[i] = randomTinyInstance(rng, n, m)
+	}
+	return out
 }
 
 // randomTinyInstance builds a connected random instance small enough for

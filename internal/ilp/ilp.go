@@ -10,11 +10,21 @@
 //	final:       x^{τ+1}_{(v,v),t} ≥ w_{vt}
 //
 // with initial conditions x^0_{(v,v),t} = [t ∈ h(v)] folded into the i = 1
-// possession rows. The objective minimizes the number of real-arc moves.
-// Solving is branch-and-bound on the LP relaxation from internal/lp.
+// possession rows. The x ≤ 1 bounds are NOT constraint rows: they ride as
+// implicit variable bounds of the bounded-variable simplex in internal/lp,
+// which removes T·|A| dense rows from every relaxation.
+//
+// The objective minimizes the number of real-arc moves. Solving is
+// warm-started branch-and-bound: nodes are ordered best-bound-first, each
+// node re-solves its LP by dual simplex from the parent's optimal basis
+// (a Basis snapshot, not a phase-1 from scratch), branching fixes a
+// variable by tightening its bounds in place, and the incumbent is pruned
+// against the §5.1 bandwidth lower bound from internal/core — once the
+// incumbent meets that certified bound the search stops early.
 package ilp
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -42,6 +52,21 @@ func (o Options) nodes() int {
 		return 10000
 	}
 	return o.MaxNodes
+}
+
+// Stats reports the work a Solve performed; it feeds the ocdbench solver
+// section and the perf-regression gate.
+type Stats struct {
+	// Nodes is the number of LP relaxations solved (the root plus every
+	// expanded branch-and-bound node; nodes pruned by bound before their
+	// LP is touched are free and not counted).
+	Nodes int
+	// SimplexIterations is the total pivot count across all relaxations
+	// (primal, dual, and bound flips).
+	SimplexIterations int
+	// WarmStarts counts node LPs re-solved from a restored parent basis
+	// (every node except the root).
+	WarmStarts int
 }
 
 // variable identifies one x^i_{(u,v),t}.
@@ -102,11 +127,12 @@ func Build(inst *core.Instance, tau int) (*Program, error) {
 	}
 
 	nv := len(p.vars)
-	prob := &lp.Problem{C: make([]float64, nv)}
+	prob := &lp.Problem{C: make([]float64, nv), Up: make([]float64, nv)}
 	for idx, v := range p.vars {
 		if v.from != v.to {
 			prob.C[idx] = 1
 		}
+		prob.Up[idx] = 1 // binary relaxation: x ∈ [0, 1] as implicit bounds
 	}
 
 	addRow := func(row []float64, rhs float64) {
@@ -163,13 +189,6 @@ func Build(inst *core.Instance, tau int) (*Program, error) {
 		}
 	}
 
-	// Upper bounds x ≤ 1.
-	for idx := 0; idx < nv; idx++ {
-		row := make([]float64, nv)
-		row[idx] = 1
-		addRow(row, 1)
-	}
-
 	p.prob = prob
 	return p, nil
 }
@@ -177,54 +196,156 @@ func Build(inst *core.Instance, tau int) (*Program, error) {
 // NumVariables returns the number of 0/1 variables in the program.
 func (p *Program) NumVariables() int { return len(p.vars) }
 
-// NumConstraints returns the number of inequality rows (including x ≤ 1
-// bounds).
+// NumConstraints returns the number of inequality rows. The x ≤ 1 bounds
+// are implicit in the simplex and add no rows.
 func (p *Program) NumConstraints() int { return len(p.prob.A) }
 
 // Solve runs branch-and-bound on the LP relaxation and returns a schedule
 // of length ≤ τ with the minimum number of moves, along with that optimum.
 func (p *Program) Solve(opts Options) (*core.Schedule, int, error) {
-	s := &solver{p: p, budget: opts.nodes(), bestObj: math.Inf(1)}
-	if err := s.branch(map[int]int{}); err != nil {
-		return nil, 0, err
-	}
-	if s.bestX == nil {
-		return nil, 0, ErrInfeasible
-	}
-	sched := p.decode(s.bestX)
-	return sched, int(math.Round(s.bestObj)), nil
+	sched, obj, _, err := p.SolveStats(opts)
+	return sched, obj, err
 }
 
-type solver struct {
-	p       *Program
-	budget  int
-	nodes   int
-	bestObj float64
-	bestX   []float64
+// SolveStats is Solve plus solver work counters.
+func (p *Program) SolveStats(opts Options) (*core.Schedule, int, Stats, error) {
+	sv, err := lp.NewSolver(p.prob)
+	if err != nil {
+		return nil, 0, Stats{}, fmt.Errorf("ilp: lp relaxation: %w", err)
+	}
+	s := &solver{
+		p:       p,
+		sv:      sv,
+		budget:  opts.nodes(),
+		bestObj: math.Inf(1),
+		cur:     map[int]int{},
+		// The §5.1 bandwidth bound certifies optimality early: no schedule
+		// can use fewer moves, so an incumbent that reaches it ends the
+		// search without draining the node queue.
+		globalLB: float64(core.BandwidthLowerBound(p.inst, nil)),
+	}
+	if err := s.run(); err != nil {
+		return nil, 0, s.stats(), err
+	}
+	if s.bestX == nil {
+		return nil, 0, s.stats(), ErrInfeasible
+	}
+	sched := p.decode(s.bestX)
+	return sched, int(math.Round(s.bestObj)), s.stats(), nil
 }
 
 const intTol = 1e-6
 
-// branch solves the LP with the given variable fixings and recurses on the
-// most fractional variable.
-func (s *solver) branch(fixed map[int]int) error {
-	s.nodes++
-	if s.nodes > s.budget {
-		return ErrBudget
+type solver struct {
+	p        *Program
+	sv       *lp.Solver
+	budget   int
+	nodes    int
+	warm     int
+	bestObj  float64
+	bestX    []float64
+	globalLB float64
+	cur      map[int]int // fixings currently installed in sv
+	queue    nodeQueue
+	seq      int
+}
+
+func (s *solver) stats() Stats {
+	return Stats{Nodes: s.nodes, SimplexIterations: s.sv.Iterations(), WarmStarts: s.warm}
+}
+
+// bbNode is one open branch-and-bound subproblem: the branching decision
+// it adds (fixVar = fixVal) on top of its parent's, and the parent's
+// optimal basis to warm-start from. Fixings are reconstructed by walking
+// the parent chain; sibling nodes share the same Basis snapshot.
+type bbNode struct {
+	bound  float64 // parent LP objective: a lower bound for the subtree
+	depth  int
+	seq    int
+	fixVar int
+	fixVal int
+	parent *bbNode
+	basis  lp.Basis
+}
+
+// nodeQueue pops the node with the least lower bound (best-bound-first);
+// ties prefer the deeper node (diving finds incumbents sooner) and then
+// insertion order, which keeps the search deterministic.
+type nodeQueue []*bbNode
+
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
 	}
-	prob := s.p.withFixings(fixed)
-	sol, err := lp.Solve(prob)
+	if q[i].depth != q[j].depth {
+		return q[i].depth > q[j].depth
+	}
+	return q[i].seq < q[j].seq
+}
+func (q nodeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)   { *q = append(*q, x.(*bbNode)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return x
+}
+
+func (s *solver) run() error {
+	// Root: a cold solve (the only one), counted like any other node.
+	s.nodes++
+	sol, err := s.sv.Solve()
 	if err != nil {
 		return fmt.Errorf("ilp: lp relaxation: %w", err)
 	}
-	if sol.Status != lp.Optimal {
-		return nil // infeasible subproblem (unbounded cannot occur: c ≥ 0, x bounded)
+	if sol.Status == lp.Optimal {
+		s.expand(sol, nil, 0)
 	}
-	// Integral objective: can round the bound up.
+
+	for s.queue.Len() > 0 {
+		if s.bestObj <= s.globalLB+intTol {
+			break // incumbent meets the certified lower bound
+		}
+		node := heap.Pop(&s.queue).(*bbNode)
+		// The bound was computed at push time; the incumbent may have
+		// improved since, making the node prunable without an LP solve.
+		if math.Ceil(node.bound-intTol) >= s.bestObj {
+			continue
+		}
+		s.nodes++
+		if s.nodes > s.budget {
+			return ErrBudget
+		}
+		if err := s.sv.Restore(node.basis); err != nil {
+			return fmt.Errorf("ilp: warm start: %w", err)
+		}
+		if err := s.applyFixings(node.fixings()); err != nil {
+			return fmt.Errorf("ilp: warm start: %w", err)
+		}
+		s.warm++
+		sol, err := s.sv.Resolve()
+		if err != nil {
+			return fmt.Errorf("ilp: lp relaxation: %w", err)
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible subproblem (unbounded cannot occur: c ≥ 0, x bounded)
+		}
+		s.expand(sol, node, node.depth)
+	}
+	return nil
+}
+
+// expand prunes, records an integral incumbent, or branches on the most
+// fractional variable, pushing both children with the node's optimal
+// basis as their warm start.
+func (s *solver) expand(sol *lp.Solution, parent *bbNode, depth int) {
+	// Integral objective: the bound can be rounded up before comparing.
 	if math.Ceil(sol.Objective-intTol) >= s.bestObj {
-		return nil
+		return
 	}
-	// Find most fractional variable.
 	frac := -1
 	fracDist := 0.0
 	for j, x := range sol.X {
@@ -235,53 +356,61 @@ func (s *solver) branch(fixed map[int]int) error {
 		}
 	}
 	if frac == -1 {
-		// Integral solution.
-		if sol.Objective < s.bestObj {
-			s.bestObj = math.Round(sol.Objective)
-			s.bestX = append([]float64(nil), sol.X...)
-		}
-		return nil
+		s.bestObj = math.Round(sol.Objective)
+		s.bestX = append(s.bestX[:0], sol.X...)
+		return
 	}
-	for _, val := range []int{1, 0} { // try 1 first: progress-making branch
-		fixed[frac] = val
-		if err := s.branch(fixed); err != nil {
-			return err
-		}
-		delete(fixed, frac)
+	basis := s.sv.Snapshot()
+	for _, val := range []int{1, 0} { // the val=1 dive gets the earlier seq
+		heap.Push(&s.queue, &bbNode{
+			bound: sol.Objective, depth: depth + 1, seq: s.seq,
+			fixVar: frac, fixVal: val, parent: parent, basis: basis,
+		})
+		s.seq++
 	}
-	return nil
 }
 
-// withFixings returns a copy of the base problem with x_j = v rows added.
-func (p *Program) withFixings(fixed map[int]int) *lp.Problem {
-	base := p.prob
-	nv := len(base.C)
-	prob := &lp.Problem{
-		C: base.C,
-		A: append([][]float64(nil), base.A...),
-		B: append([]float64(nil), base.B...),
+// fixings reconstructs the node's full fixing set from the parent chain.
+func (n *bbNode) fixings() map[int]int {
+	out := make(map[int]int, n.depth)
+	for cur := n; cur != nil; cur = cur.parent {
+		out[cur.fixVar] = cur.fixVal
 	}
-	// Emit fixing rows in ascending variable order: the constraint-row
-	// order steers simplex pivoting, so map order here would make
-	// branch-and-bound results vary run to run.
-	vars := make([]int, 0, len(fixed))
-	for j := range fixed {
-		vars = append(vars, j)
-	}
-	sort.Ints(vars)
-	for _, j := range vars {
-		row := make([]float64, nv)
-		if fixed[j] == 0 {
-			row[j] = 1 // x_j ≤ 0
-			prob.A = append(prob.A, row)
-			prob.B = append(prob.B, 0)
-		} else {
-			row[j] = -1 // −x_j ≤ −1, with x_j ≤ 1 already present
-			prob.A = append(prob.A, row)
-			prob.B = append(prob.B, -1)
+	return out
+}
+
+// applyFixings reconciles the solver's variable bounds with the target
+// fixing set: released variables go back to [0, 1], new or changed
+// fixings pin [v, v]. Each SetBounds shifts values independently, so the
+// outcome is order-free; the sort just keeps the pivot trail replayable.
+func (s *solver) applyFixings(target map[int]int) error {
+	changed := make([]int, 0, len(s.cur)+len(target))
+	for j := range s.cur {
+		if _, ok := target[j]; !ok {
+			changed = append(changed, j)
 		}
 	}
-	return prob
+	sort.Ints(changed)
+	for _, j := range changed {
+		if err := s.sv.SetBounds(j, 0, 1); err != nil {
+			return err
+		}
+	}
+	changed = changed[:0]
+	for j, v := range target {
+		if cv, ok := s.cur[j]; !ok || cv != v {
+			changed = append(changed, j)
+		}
+	}
+	sort.Ints(changed)
+	for _, j := range changed {
+		v := float64(target[j])
+		if err := s.sv.SetBounds(j, v, v); err != nil {
+			return err
+		}
+	}
+	s.cur = target
+	return nil
 }
 
 // decode converts an integral solution into a schedule, dropping self-arc

@@ -1,0 +1,74 @@
+package ilp_test
+
+import (
+	"testing"
+
+	"ocd/internal/core"
+	"ocd/internal/exact"
+	"ocd/internal/experiments"
+	"ocd/internal/ilp"
+)
+
+// TestParityWithExactSolvers is the ILP↔exact cross-check on a seeded
+// grid of small instances (this package is in the CI -race set). For each
+// instance both optimum notions must agree between the two independent
+// solvers: the minimum makespan (time-indexed program's binary search vs
+// schedule-space iterative deepening) and the minimum bandwidth within a
+// fixed horizon (branch-and-bound over the LP relaxation vs
+// branch-and-bound over move subsets). Every extracted schedule must
+// validate against the instance.
+func TestParityWithExactSolvers(t *testing.T) {
+	grid := []struct {
+		seed        int64
+		count, n, m int
+	}{
+		{seed: 3, count: 3, n: 4, m: 2},
+		{seed: 5, count: 3, n: 5, m: 2},
+		{seed: 9, count: 2, n: 6, m: 3},
+	}
+	for _, g := range grid {
+		insts := experiments.RandomTinyInstances(g.seed, g.count, g.n, g.m)
+		for i, inst := range insts {
+			fast, err := exact.SolveFOCD(inst, exact.Options{})
+			if err != nil {
+				t.Fatalf("seed %d inst %d: exact focd: %v", g.seed, i, err)
+			}
+			ipSched, ipTau, err := ilp.SolveFOCD(inst, ilp.Options{})
+			if err != nil {
+				t.Fatalf("seed %d inst %d: ilp focd: %v", g.seed, i, err)
+			}
+			if ipTau != fast.Makespan() {
+				t.Errorf("seed %d inst %d: ILP makespan %d, exact makespan %d",
+					g.seed, i, ipTau, fast.Makespan())
+			}
+			if err := core.Validate(inst, ipSched); err != nil {
+				t.Errorf("seed %d inst %d: ILP focd schedule invalid: %v", g.seed, i, err)
+			}
+
+			tau := fast.Makespan() + 1 // one slack step lets cheaper plans surface
+			bnb, err := exact.SolveEOCD(inst, tau, exact.Options{})
+			if err != nil {
+				t.Fatalf("seed %d inst %d: exact eocd: %v", g.seed, i, err)
+			}
+			prog, err := ilp.Build(inst, tau)
+			if err != nil {
+				t.Fatalf("seed %d inst %d: build: %v", g.seed, i, err)
+			}
+			sched, obj, err := prog.Solve(ilp.Options{})
+			if err != nil {
+				t.Fatalf("seed %d inst %d: ilp solve: %v", g.seed, i, err)
+			}
+			if obj != bnb.Moves() {
+				t.Errorf("seed %d inst %d: ILP bandwidth %d, exact bandwidth %d",
+					g.seed, i, obj, bnb.Moves())
+			}
+			if err := core.Validate(inst, sched); err != nil {
+				t.Errorf("seed %d inst %d: ILP schedule invalid: %v", g.seed, i, err)
+			}
+			if sched.Moves() != obj {
+				t.Errorf("seed %d inst %d: schedule has %d moves but objective is %d",
+					g.seed, i, sched.Moves(), obj)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Basis is an immutable snapshot of a Solver's basis: which column is
+// basic in each row plus the resting bound of every nonbasic column. It
+// carries no bound values — reinstalling a Basis under different bounds
+// is exactly the branch-and-bound warm start, where a child node reuses
+// its parent's optimal basis with one variable's bounds tightened.
+type Basis struct {
+	cols []int
+	atUp []bool
+}
+
+// Snapshot captures the current basis. The snapshot is detached: later
+// pivots or bound changes do not affect it, and it may be restored into
+// the solver any number of times (callers typically share one snapshot
+// across sibling branch-and-bound nodes).
+func (s *Solver) Snapshot() Basis {
+	return Basis{
+		cols: append([]int(nil), s.basis...),
+		atUp: append([]bool(nil), s.atUp...),
+	}
+}
+
+// Restore re-installs a snapshot taken earlier on the same solver. It
+// pivots incrementally from the current basis — the cost is proportional
+// to how many positions differ, so hopping between nearby branch-and-
+// bound nodes is cheap — then rebuilds the value and reduced-cost rows
+// under the solver's *current* bounds. Reduced costs depend only on the
+// basis, so a snapshot taken at an optimum stays dual feasible no matter
+// how the bounds have moved since; a subsequent Resolve finishes the job.
+func (s *Solver) Restore(bs Basis) error {
+	if len(bs.cols) != s.m || len(bs.atUp) != s.ncols {
+		return fmt.Errorf("%w: basis for %d rows/%d cols restored into %d/%d",
+			ErrDimensions, len(bs.cols), len(bs.atUp), s.m, s.ncols)
+	}
+	target := make([]bool, s.ncols)
+	for _, c := range bs.cols {
+		if c < 0 || c >= s.ncols || target[c] {
+			return fmt.Errorf("%w: basis names column %d twice or out of range", ErrSingular, c)
+		}
+		target[c] = true
+	}
+
+	// Pivot target columns in one at a time, each time kicking out a
+	// current basic column the target does not want. Choosing the largest
+	// available pivot element keeps the elimination stable.
+	for {
+		bestR, bestJ := -1, -1
+		bestA := 1e-7
+		for i := 0; i < s.m; i++ {
+			if target[s.basis[i]] {
+				continue
+			}
+			row := s.rows[i]
+			for j := 0; j < s.ncols; j++ {
+				if !target[j] || s.rowOf[j] >= 0 {
+					continue
+				}
+				if a := math.Abs(row[j]); a > bestA {
+					bestR, bestJ, bestA = i, j, a
+				}
+			}
+		}
+		if bestR == -1 {
+			for i := 0; i < s.m; i++ {
+				if !target[s.basis[i]] {
+					return ErrSingular
+				}
+			}
+			break
+		}
+		old := s.basis[bestR]
+		s.structuralPivot(bestR, bestJ)
+		s.rowOf[old] = -1
+		s.basis[bestR] = bestJ
+		s.rowOf[bestJ] = bestR
+	}
+
+	for j := 0; j < s.ncols; j++ {
+		if s.rowOf[j] < 0 {
+			s.atUp[j] = bs.atUp[j] && !math.IsInf(s.up[j], 1)
+		}
+	}
+	// Full recomputation doubles as drift control: restores are the
+	// natural refactorization points of a long branch-and-bound run.
+	s.recomputeCost()
+	s.recomputeValues()
+	return nil
+}

@@ -1,19 +1,31 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs of the form
+// Package lp implements a dense bounded-variable simplex solver for
+// linear programs of the form
 //
-//	min cᵀx  subject to  Ax ≤ b,  x ≥ 0
+//	min cᵀx  subject to  Ax ≤ b,  lo ≤ x ≤ up
 //
-// (rows with negative b are handled in phase one via artificial variables,
-// so ≥ and = constraints can be expressed by negation or row pairs). It is
-// the substrate for the time-indexed integer program of paper §3.4 — Go has
-// no ILP ecosystem, so internal/ilp branches and bounds on top of this
-// solver. Bland's rule guarantees termination.
+// (lo defaults to 0 and up to +∞; ≥ and = constraints can be expressed
+// by negation or row pairs). Variable bounds are handled implicitly by
+// the pivoting rules rather than as explicit rows, which matters for the
+// time-indexed integer program of paper §3.4: its T·|A| binary variables
+// each carry an x ≤ 1 bound, and folding those into the basis logic
+// removes that many dense tableau rows outright. Go has no ILP
+// ecosystem, so internal/ilp branches and bounds on top of this solver.
+//
+// The solver is warm-startable: a Solver retains its tableau between
+// solves, bounds can be tightened or relaxed in place with SetBounds,
+// and Resolve re-establishes optimality by dual simplex from the current
+// basis instead of a phase-1 from scratch — the branch-and-bound loop in
+// internal/ilp leans on exactly this. Basis snapshots (Snapshot /
+// Restore) let callers return to an earlier basis cheaply.
+//
+// Pricing is Dantzig's rule (most violating reduced cost) with an
+// automatic switch to Bland's rule after a run of degenerate pivots,
+// which restores the termination guarantee on cycling-prone instances.
 package lp
 
 import (
 	"errors"
 	"fmt"
-	"math"
 )
 
 // Status reports the outcome of Solve.
@@ -22,7 +34,7 @@ type Status int
 const (
 	// Optimal means an optimal basic feasible solution was found.
 	Optimal Status = iota + 1
-	// Infeasible means no x ≥ 0 satisfies Ax ≤ b.
+	// Infeasible means no lo ≤ x ≤ up satisfies Ax ≤ b.
 	Infeasible
 	// Unbounded means the objective decreases without bound.
 	Unbounded
@@ -41,7 +53,8 @@ func (s Status) String() string {
 	}
 }
 
-// Problem is a linear program in inequality standard form.
+// Problem is a linear program in inequality standard form with optional
+// variable bounds.
 type Problem struct {
 	// C is the objective coefficient vector (length = number of variables).
 	C []float64
@@ -49,231 +62,53 @@ type Problem struct {
 	A [][]float64
 	// B is the right-hand side, one entry per constraint.
 	B []float64
+	// Lo holds per-variable lower bounds; nil means all zero. Entries
+	// must be finite.
+	Lo []float64
+	// Up holds per-variable upper bounds; nil means all +∞. Entries of
+	// math.Inf(1) leave a variable unbounded above.
+	Up []float64
 }
 
-// Solution is the result of Solve.
+// Solution is the result of a solve.
 type Solution struct {
 	Status Status
 	// X is the optimal primal solution (valid only when Status == Optimal).
 	X []float64
 	// Objective is cᵀx at the optimum.
 	Objective float64
+	// Iterations counts the simplex pivots (primal and dual, including
+	// bound flips) this solve performed.
+	Iterations int
 }
 
-const eps = 1e-9
+const (
+	// eps is the pivoting / reduced-cost tolerance.
+	eps = 1e-9
+	// feasTol is the bound-violation tolerance of the dual simplex.
+	feasTol = 1e-7
+)
 
 // ErrDimensions indicates inconsistent problem dimensions.
 var ErrDimensions = errors.New("lp: inconsistent dimensions")
 
-// Solve runs two-phase primal simplex on the problem.
+// ErrBounds indicates an invalid variable bound pair.
+var ErrBounds = errors.New("lp: invalid bounds")
+
+// ErrIterLimit indicates the simplex iteration safety cap was hit; it
+// signals a numerical breakdown, not a property of the problem.
+var ErrIterLimit = errors.New("lp: iteration limit exceeded")
+
+// ErrSingular indicates a Basis could not be re-installed because its
+// columns are (numerically) linearly dependent.
+var ErrSingular = errors.New("lp: singular basis")
+
+// Solve runs bounded-variable simplex on the problem. It is the one-shot
+// entry point; use NewSolver for warm-started resolves.
 func Solve(p *Problem) (*Solution, error) {
-	n := len(p.C)
-	m := len(p.A)
-	if len(p.B) != m {
-		return nil, fmt.Errorf("%w: %d rows but %d rhs entries", ErrDimensions, m, len(p.B))
-	}
-	for i, row := range p.A {
-		if len(row) != n {
-			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimensions, i, len(row), n)
-		}
-	}
-
-	// Tableau layout: columns [x (n) | slack (m) | artificial (k) | rhs].
-	// Row i: a_i·x + s_i = b_i. Rows with b_i < 0 are negated, which flips
-	// the slack coefficient to −1 (a surplus); those rows get an artificial
-	// basic variable for phase one.
-	var artRows []int
-	for i := 0; i < m; i++ {
-		if p.B[i] < 0 {
-			artRows = append(artRows, i)
-		}
-	}
-	k := len(artRows)
-	totalCols := n + m
-	width := totalCols + k + 1 // + rhs
-	rows := make([][]float64, m)
-	basis := make([]int, m)
-	art := 0
-	for i := 0; i < m; i++ {
-		row := make([]float64, width)
-		copy(row, p.A[i])
-		rhs := p.B[i]
-		sign := 1.0
-		if rhs < 0 {
-			sign = -1.0
-			rhs = -rhs
-			for j := 0; j < n; j++ {
-				row[j] = -row[j]
-			}
-		}
-		row[n+i] = sign // slack (+1) or surplus (−1)
-		row[width-1] = rhs
-		if sign > 0 {
-			basis[i] = n + i
-		} else {
-			col := totalCols + art
-			art++
-			row[col] = 1
-			basis[i] = col
-		}
-		rows[i] = row
-	}
-
-	t := &tableau{rows: rows, basis: basis, width: width, nVars: n}
-
-	if k > 0 {
-		// Phase 1: minimize the sum of artificials.
-		phase1 := make([]float64, width-1)
-		for idx := 0; idx < k; idx++ {
-			phase1[totalCols+idx] = 1
-		}
-		if err := t.run(phase1); err != nil {
-			return nil, err
-		}
-		if t.objective(phase1) > eps {
-			return &Solution{Status: Infeasible}, nil
-		}
-		// Drive any artificial still in the basis out (degenerate rows).
-		for i, b := range t.basis {
-			if b >= totalCols {
-				t.pivotOutArtificial(i, totalCols)
-			}
-		}
-		// Freeze artificial columns at zero.
-		t.frozenFrom = totalCols
-	} else {
-		t.frozenFrom = totalCols
-	}
-
-	// Phase 2: original objective.
-	phase2 := make([]float64, width-1)
-	copy(phase2, p.C)
-	if err := t.run(phase2); err != nil {
-		if errors.Is(err, errUnbounded) {
-			return &Solution{Status: Unbounded}, nil
-		}
+	s, err := NewSolver(p)
+	if err != nil {
 		return nil, err
 	}
-
-	x := make([]float64, n)
-	for i, b := range t.basis {
-		if b < n {
-			x[b] = t.rows[i][width-1]
-		}
-	}
-	obj := 0.0
-	for j := 0; j < n; j++ {
-		obj += p.C[j] * x[j]
-	}
-	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
-}
-
-var errUnbounded = errors.New("lp: unbounded")
-
-type tableau struct {
-	rows       [][]float64
-	basis      []int
-	width      int // columns including rhs
-	nVars      int
-	frozenFrom int // columns ≥ frozenFrom are ineligible to enter
-}
-
-// reducedCosts computes c_j − c_Bᵀ B⁻¹ A_j for all columns given the
-// objective vector, using the current (already pivoted) tableau rows.
-func (t *tableau) reducedCosts(obj []float64) []float64 {
-	rc := make([]float64, t.width-1)
-	copy(rc, obj)
-	for i, b := range t.basis {
-		cb := obj[b]
-		if cb == 0 {
-			continue
-		}
-		for j := 0; j < t.width-1; j++ {
-			rc[j] -= cb * t.rows[i][j]
-		}
-	}
-	return rc
-}
-
-func (t *tableau) objective(obj []float64) float64 {
-	total := 0.0
-	for i, b := range t.basis {
-		total += obj[b] * t.rows[i][t.width-1]
-	}
-	return total
-}
-
-// run performs primal simplex iterations with Bland's rule until optimal.
-func (t *tableau) run(obj []float64) error {
-	maxIter := 50 * (len(t.rows) + t.width)
-	for iter := 0; iter < maxIter; iter++ {
-		rc := t.reducedCosts(obj)
-		enter := -1
-		limit := t.width - 1
-		for j := 0; j < limit; j++ {
-			if t.frozenFrom > 0 && j >= t.frozenFrom {
-				break
-			}
-			if rc[j] < -eps {
-				enter = j // Bland: smallest index
-				break
-			}
-		}
-		if enter == -1 {
-			return nil // optimal
-		}
-		// Ratio test (Bland: smallest basis index breaks ties).
-		leave := -1
-		bestRatio := math.Inf(1)
-		for i := range t.rows {
-			a := t.rows[i][enter]
-			if a > eps {
-				ratio := t.rows[i][t.width-1] / a
-				if ratio < bestRatio-eps ||
-					(math.Abs(ratio-bestRatio) <= eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
-					bestRatio = ratio
-					leave = i
-				}
-			}
-		}
-		if leave == -1 {
-			return errUnbounded
-		}
-		t.pivot(leave, enter)
-	}
-	return errors.New("lp: iteration limit exceeded")
-}
-
-// pivot makes column `enter` basic in row `leave`.
-func (t *tableau) pivot(leave, enter int) {
-	row := t.rows[leave]
-	pv := row[enter]
-	for j := range row {
-		row[j] /= pv
-	}
-	for i := range t.rows {
-		if i == leave {
-			continue
-		}
-		factor := t.rows[i][enter]
-		if factor == 0 {
-			continue
-		}
-		for j := range t.rows[i] {
-			t.rows[i][j] -= factor * row[j]
-		}
-	}
-	t.basis[leave] = enter
-}
-
-// pivotOutArtificial replaces a basic artificial in row i with any
-// non-artificial column having a nonzero coefficient; if none exists the
-// row is redundant and left alone (its rhs is zero).
-func (t *tableau) pivotOutArtificial(i, artStart int) {
-	for j := 0; j < artStart; j++ {
-		if math.Abs(t.rows[i][j]) > eps {
-			t.pivot(i, j)
-			return
-		}
-	}
+	return s.Solve()
 }
