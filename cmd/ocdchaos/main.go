@@ -12,13 +12,20 @@
 // (crash-safety journal: a killed sweep re-invoked with the same journal
 // resumes from its completed cells with byte-identical output).
 //
+// The binary also speaks the declarative registry: -list prints every
+// registered experiment with its parameter schema, -experiment <name>
+// runs one with -param name=value overrides, and -spec file.json replays
+// a JSON sweep file.
+//
 // Examples:
 //
 //	ocdchaos -n 30 -tokens 24 -intensities 0,0.25,0.5,1 -heuristics local,retry-local
 //	ocdchaos -scenario crash-source -n 30 -tokens 60 -crash-at 2
 //	ocdchaos -scenario partition -k 2 -heal 0,4,16,-1 -monitor
 //	ocdchaos -scenario churn -churn-rates 0.01,0.05,0.1 -rejoin 0.5 -journal sweep.jsonl
-//	ocdchaos -csv
+//	ocdchaos -list
+//	ocdchaos -experiment chaos -param intensities=0,0.5 -param heuristics=local -csv
+//	ocdchaos -spec sweeps.json -monitor
 package main
 
 import (
@@ -26,10 +33,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"ocd"
+	"ocd/internal/cliutil"
 )
 
 func main() {
@@ -45,7 +51,6 @@ func run(args []string, stdout io.Writer) error {
 		scenario    = fs.String("scenario", "sweep", "scenario: sweep | crash-source | partition | churn")
 		n           = fs.Int("n", 30, "number of vertices")
 		tokens      = fs.Int("tokens", 24, "number of tokens in the file")
-		seed        = fs.Int64("seed", 1, "random seed (topology, fault plan, and strategies)")
 		intensities = fs.String("intensities", "0,0.25,0.5,0.75,1", "comma-separated fault intensities in [0,1] (sweep)")
 		heuristics  = fs.String("heuristics", "local,bandwidth,retry-local", "comma-separated heuristic names; retry-<name> wraps in the backoff sender")
 		crashAt     = fs.Int("crash-at", 2, "step at which the sole source crash-stops (crash-source)")
@@ -53,33 +58,38 @@ func run(args []string, stdout io.Writer) error {
 		heal        = fs.String("heal", "0,4,16,-1", "comma-separated partition heal times in steps, -1 = never heals (partition)")
 		churnRates  = fs.String("churn-rates", "0,0.02,0.05,0.1", "comma-separated per-step leave probabilities (churn)")
 		rejoin      = fs.Float64("rejoin", 0.5, "per-step rejoin probability for absent members, 0 = departures are permanent (churn)")
-		journal     = fs.String("journal", "", "crash-safety journal path; re-invoking with the same journal resumes from completed cells (partition, churn)")
-		monitor     = fs.Bool("monitor", false, "attach the kernel invariant monitor; any violation fails the run (partition, churn)")
 		csv         = fs.Bool("csv", false, "emit CSV instead of the ASCII table")
 	)
+	harness := cliutil.AddHarness(fs)
+	spec := cliutil.AddSpecMode(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if spec.Active() {
+		return spec.Execute(fs, stdout, *csv, harness)
+	}
 
-	xs, err := parseFloats(*intensities)
+	xs, err := cliutil.ParseFloats(*intensities)
 	if err != nil {
 		return fmt.Errorf("-intensities: %w", err)
 	}
-	names := splitNames(*heuristics)
+	names := cliutil.SplitNames(*heuristics)
 	if err := validateFlags(*n, *tokens, *crashAt, xs, names); err != nil {
 		return err
 	}
-	sweepOpts := ocd.FaultSweepOptions{JournalPath: *journal, Monitor: *monitor}
+	sweepOpts := ocd.FaultSweepOptions{
+		JournalPath: harness.Journal, Monitor: harness.Monitor, Parallelism: harness.Parallelism,
+	}
 
 	var tab *ocd.Table
 	switch *scenario {
 	case "sweep":
-		tab, err = ocd.ExperimentChaos(*n, *tokens, xs, names, *seed)
+		tab, err = ocd.ExperimentChaos(*n, *tokens, xs, names, harness.Seed)
 	case "crash-source":
-		tab, err = ocd.ExperimentCrashedSource(*n, *tokens, *crashAt, *seed)
+		tab, err = ocd.ExperimentCrashedSource(*n, *tokens, *crashAt, harness.Seed)
 	case "partition":
 		var heals []int
-		if heals, err = parseInts(*heal); err != nil {
+		if heals, err = cliutil.ParseInts(*heal); err != nil {
 			return fmt.Errorf("-heal: %w", err)
 		}
 		if len(heals) == 0 {
@@ -88,10 +98,10 @@ func run(args []string, stdout io.Writer) error {
 		if *k < 2 {
 			return fmt.Errorf("-k must be at least 2, got %d", *k)
 		}
-		tab, err = ocd.ExperimentPartition(*n, *tokens, *k, heals, names, *seed, sweepOpts)
+		tab, err = ocd.ExperimentPartition(*n, *tokens, *k, heals, names, harness.Seed, sweepOpts)
 	case "churn":
 		var rates []float64
-		if rates, err = parseFloats(*churnRates); err != nil {
+		if rates, err = cliutil.ParseFloats(*churnRates); err != nil {
 			return fmt.Errorf("-churn-rates: %w", err)
 		}
 		if len(rates) == 0 {
@@ -105,66 +115,14 @@ func run(args []string, stdout io.Writer) error {
 		if *rejoin < 0 || *rejoin > 1 {
 			return fmt.Errorf("-rejoin must be in [0,1], got %v", *rejoin)
 		}
-		tab, err = ocd.ExperimentChurn(*n, *tokens, rates, *rejoin, names, *seed, sweepOpts)
+		tab, err = ocd.ExperimentChurn(*n, *tokens, rates, *rejoin, names, harness.Seed, sweepOpts)
 	default:
 		return fmt.Errorf("unknown scenario %q (have sweep, crash-source, partition, churn)", *scenario)
 	}
 	if err != nil {
 		return err
 	}
-	// Report write failures (closed pipe, full disk) instead of
-	// silently exiting zero with a truncated table.
-	if *csv {
-		_, err = fmt.Fprint(stdout, tab.CSV())
-	} else {
-		_, err = fmt.Fprint(stdout, tab.ASCII())
-	}
-	if err != nil {
-		return fmt.Errorf("writing table: %w", err)
-	}
-	return nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var xs []float64
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		x, err := strconv.ParseFloat(part, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value %q: %w", part, err)
-		}
-		xs = append(xs, x)
-	}
-	return xs, nil
-}
-
-func parseInts(s string) ([]int, error) {
-	var xs []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		x, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("bad value %q: %w", part, err)
-		}
-		xs = append(xs, x)
-	}
-	return xs, nil
-}
-
-func splitNames(s string) []string {
-	var names []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			names = append(names, part)
-		}
-	}
-	return names
+	return cliutil.WriteTable(stdout, tab, *csv)
 }
 
 // validateFlags rejects out-of-range parameters up front with a clear

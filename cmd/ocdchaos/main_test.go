@@ -108,6 +108,37 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
+func TestSpecModeExperimentCSV(t *testing.T) {
+	out := runOK(t, "-experiment", "chaos", "-param", "n=12", "-param", "tokens=6",
+		"-param", "intensities=0", "-param", "heuristics=local", "-csv")
+	if !strings.HasPrefix(out, "intensity,heuristic,") {
+		t.Errorf("not CSV:\n%s", out)
+	}
+}
+
+// TestSpecModeHarnessFlags drives the partition experiment through the
+// registry with the shared -monitor flag and expects the invariant-monitor
+// note, proving the harness flags merge into spec parameters.
+func TestSpecModeHarnessFlags(t *testing.T) {
+	out := runOK(t, "-experiment", "partition", "-param", "n=12", "-param", "tokens=6",
+		"-param", "heal=0", "-param", "heuristics=local", "-monitor")
+	if !strings.Contains(out, "invariant monitor") {
+		t.Errorf("-monitor did not reach the partition spec:\n%s", out)
+	}
+}
+
+// TestSpecModeMatchesScenario runs the same sweep through the classic
+// scenario flags and the registry and expects identical tables.
+func TestSpecModeMatchesScenario(t *testing.T) {
+	classic := runOK(t, "-scenario", "churn", "-n", "12", "-tokens", "6",
+		"-churn-rates", "0,0.05", "-heuristics", "local", "-seed", "5")
+	spec := runOK(t, "-experiment", "churn", "-param", "n=12", "-param", "tokens=6",
+		"-param", "leave=0,0.05", "-param", "heuristics=local", "-seed", "5")
+	if classic != spec {
+		t.Errorf("scenario and spec modes diverge:\n--- scenario ---\n%s--- spec ---\n%s", classic, spec)
+	}
+}
+
 func TestDeterministicOutput(t *testing.T) {
 	args := []string{"-n", "12", "-tokens", "8", "-intensities", "0.6",
 		"-heuristics", "local,random", "-seed", "9"}

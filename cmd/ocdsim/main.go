@@ -2,11 +2,19 @@
 // loaded topology and workload, printing makespan ("moves" in the paper's
 // §5 terminology), bandwidth, pruned bandwidth, and the §5.1 lower bounds.
 //
+// The binary also speaks the declarative registry: -list prints every
+// registered experiment with its parameter schema, -experiment <name> runs
+// one with -param name=value overrides, and -spec file.json replays a JSON
+// sweep file.
+//
 // Examples:
 //
 //	ocdsim -topology transit-stub -n 200 -tokens 200 -heuristic local -seed 7
 //	ocdsim -instance saved.json -heuristic all
 //	ocdsim -n 50 -heuristic tree -dump-schedule out.json
+//	ocdsim -list
+//	ocdsim -experiment graph-size -param sizes=25,50 -param tokens=64
+//	ocdsim -spec paper-figures.json -jsonl rows.jsonl
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"os"
 
 	"ocd"
+	"ocd/internal/cliutil"
 )
 
 func main() {
@@ -35,7 +44,6 @@ func run(args []string, stdout io.Writer) error {
 		work      = fs.String("workload", "singlefile", "workload: singlefile | density | multifile | multisender")
 		density   = fs.Float64("density", 0.5, "receiver density threshold (density workload)")
 		files     = fs.Int("files", 4, "number of files (multifile workloads)")
-		seed      = fs.Int64("seed", 1, "random seed")
 		maxSteps  = fs.Int("max-steps", 0, "timestep limit (0 = Theorem 1 horizon)")
 		oracle    = fs.Bool("oracle", false, "wrap the heuristic in the §4.2 propagate-then-plan oracle")
 		loss      = fs.Float64("loss", 0, "per-move loss probability (§6 lossy channels)")
@@ -46,9 +54,15 @@ func run(args []string, stdout io.Writer) error {
 		steptrace = fs.String("steptrace", "", "write the last run's per-step trace as JSONL to this file")
 		timeline  = fs.Bool("timeline", false, "print the last schedule as a per-step timeline")
 	)
+	harness := cliutil.AddHarness(fs)
+	spec := cliutil.AddSpecMode(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if spec.Active() {
+		return spec.Execute(fs, stdout, false, harness)
+	}
+	seed := &harness.Seed
 	if err := validateFlags(*n, *tokens, *loss, *density, *patience, *maxSteps, *files); err != nil {
 		return err
 	}

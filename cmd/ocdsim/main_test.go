@@ -131,6 +131,50 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestSpecModeList(t *testing.T) {
+	out := runOK(t, "-list")
+	for _, want := range []string{"graph-size", "figure1", "-param", "facade: ocd.Experiment"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in registry listing:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpecModeExperiment(t *testing.T) {
+	out := runOK(t, "-experiment", "theorem4", "-param", "decoys=1,4")
+	if !strings.Contains(out, "Theorem 4") || !strings.Contains(out, "decoys") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestSpecModeSpecFile(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath,
+		[]byte(`[{"experiment":"figure1"},{"experiment":"theorem4","params":{"decoys":"1"}}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "-spec", specPath)
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "Theorem 4") {
+		t.Errorf("spec file output:\n%s", out)
+	}
+}
+
+func TestSpecModeErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-experiment", "nope"},
+		{"-param", "n=12"},
+		{"-experiment", "theorem4", "-param", "decoys=abc"},
+		{"-experiment", "theorem4", "-spec", "x.json"},
+		{"-spec", "/does/not/exist.json"},
+		{"-list", "-experiment", "figure1"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	bad := [][]string{
 		{"-n", "0"},

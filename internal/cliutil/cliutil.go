@@ -1,0 +1,245 @@
+// Package cliutil holds the command-line plumbing shared by cmd/ocdsim and
+// cmd/ocdchaos: comma-separated list parsing, the common harness flags
+// (seed, journal, monitor, parallelism), table writing, and the registry-
+// driven spec mode (-experiment/-param/-list/-spec) that lowers both
+// binaries onto the declarative experiment pipeline.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ocd/internal/experiments"
+)
+
+// ParseFloats parses a comma-separated float list, skipping empty entries.
+func ParseFloats(s string) ([]float64, error) {
+	var xs []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		x, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
+		}
+		xs = append(xs, x)
+	}
+	return xs, nil
+}
+
+// ParseInts parses a comma-separated integer list, skipping empty entries.
+func ParseInts(s string) ([]int, error) {
+	var xs []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		x, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
+		}
+		xs = append(xs, x)
+	}
+	return xs, nil
+}
+
+// SplitNames splits a comma-separated name list, dropping empty entries.
+func SplitNames(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// Harness bundles the flags every experiment-running binary shares: the
+// base seed and the sweep harness ring (crash-safety journal, kernel
+// invariant monitor, runner parallelism).
+type Harness struct {
+	Seed        int64
+	Journal     string
+	Monitor     bool
+	Parallelism int
+}
+
+// AddHarness registers the shared harness flags on fs.
+func AddHarness(fs *flag.FlagSet) *Harness {
+	h := &Harness{}
+	fs.Int64Var(&h.Seed, "seed", 1, "random seed")
+	fs.StringVar(&h.Journal, "journal", "", "crash-safety journal path; re-invoking with the same journal resumes from completed cells")
+	fs.BoolVar(&h.Monitor, "monitor", false, "attach the kernel invariant monitor; any violation fails the run")
+	fs.IntVar(&h.Parallelism, "parallelism", 0, "experiment runner worker count (0 = GOMAXPROCS); output is identical at every setting")
+	return h
+}
+
+// harnessParamNames maps the shared harness flag names onto the spec
+// parameter names they override (they coincide by construction).
+var harnessParamNames = []string{"seed", "journal", "monitor", "parallelism"}
+
+// overrides merges the harness flags the user explicitly set into the
+// parameter overrides of one spec invocation: only flags the spec declares
+// are forwarded, and explicit -param values win.
+func (h *Harness) overrides(fs *flag.FlagSet, spec *experiments.Spec, params map[string]string) map[string]string {
+	set := make(map[string]bool, len(harnessParamNames))
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	out := make(map[string]string, len(params)+len(harnessParamNames))
+	for k, v := range params {
+		out[k] = v
+	}
+	for _, name := range harnessParamNames {
+		if !set[name] || !spec.HasParam(name) {
+			continue
+		}
+		if _, explicit := out[name]; explicit {
+			continue
+		}
+		out[name] = fs.Lookup(name).Value.String()
+	}
+	return out
+}
+
+// WriteTable renders one experiment table to w, as CSV or ASCII. Write
+// failures (closed pipe, full disk) are reported instead of silently
+// exiting zero with a truncated table.
+func WriteTable(w io.Writer, t *experiments.Table, csv bool) error {
+	var err error
+	if csv {
+		_, err = fmt.Fprint(w, t.CSV())
+	} else {
+		_, err = fmt.Fprint(w, t.ASCII())
+	}
+	if err != nil {
+		return fmt.Errorf("writing table: %w", err)
+	}
+	return nil
+}
+
+// Params is the repeatable -param k=v flag.
+type Params map[string]string
+
+func (p Params) String() string {
+	// Flag printing only; the zero value renders empty.
+	if len(p) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d params", len(p))
+}
+
+// Set records one k=v override.
+func (p *Params) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	if *p == nil {
+		*p = make(Params)
+	}
+	if _, dup := (*p)[k]; dup {
+		return fmt.Errorf("duplicate param %q", k)
+	}
+	(*p)[k] = v
+	return nil
+}
+
+// SpecMode bundles the registry-driven flags: -list prints the registry,
+// -experiment runs one spec with -param overrides, -spec runs a JSON sweep
+// file, and -jsonl streams every row into a JSONL sink as it is produced.
+type SpecMode struct {
+	Experiment string
+	List       bool
+	SpecFile   string
+	JSONL      string
+	Params     Params
+}
+
+// AddSpecMode registers the spec-mode flags on fs.
+func AddSpecMode(fs *flag.FlagSet) *SpecMode {
+	m := &SpecMode{}
+	fs.StringVar(&m.Experiment, "experiment", "", "run a registered experiment by name (see -list)")
+	fs.BoolVar(&m.List, "list", false, "list the experiment registry with parameter schemas and exit")
+	fs.StringVar(&m.SpecFile, "spec", "", "run the experiment invocations in this JSON spec file")
+	fs.StringVar(&m.JSONL, "jsonl", "", "stream experiment rows into this JSONL file as they are produced")
+	fs.Var(&m.Params, "param", "override one experiment parameter as name=value (repeatable)")
+	return m
+}
+
+// Active reports whether any spec-mode flag was used, i.e. whether Execute
+// will handle the invocation instead of the binary's classic mode.
+func (m *SpecMode) Active() bool {
+	return m.List || m.Experiment != "" || m.SpecFile != "" || len(m.Params) > 0
+}
+
+// Execute handles a spec-mode invocation: the registry listing, a single
+// -experiment run, or a -spec sweep file. The harness flags the user set
+// explicitly are merged into every invocation that declares them. Tables
+// are written to w (CSV when csv is set), separated by a blank line.
+func (m *SpecMode) Execute(fs *flag.FlagSet, w io.Writer, csv bool, h *Harness) error {
+	if m.List {
+		if m.Experiment != "" || m.SpecFile != "" || len(m.Params) > 0 {
+			return fmt.Errorf("-list does not combine with -experiment, -spec, or -param")
+		}
+		return experiments.Describe(w)
+	}
+	if m.Experiment != "" && m.SpecFile != "" {
+		return fmt.Errorf("-experiment and -spec are mutually exclusive")
+	}
+	if m.Experiment == "" && len(m.Params) > 0 {
+		return fmt.Errorf("-param requires -experiment")
+	}
+
+	var invs []experiments.Invocation
+	switch {
+	case m.Experiment != "":
+		invs = []experiments.Invocation{{Experiment: m.Experiment, Params: m.Params}}
+		if _, ok := experiments.Lookup(m.Experiment); !ok {
+			// Surface the registry's canonical unknown-name error (with the
+			// catalogue) rather than a bare failure downstream.
+			_, err := experiments.RunStrings(m.Experiment, nil)
+			return err
+		}
+	case m.SpecFile != "":
+		loaded, err := experiments.LoadSpecFile(m.SpecFile)
+		if err != nil {
+			return err
+		}
+		invs = loaded
+	default:
+		return fmt.Errorf("spec mode needs -list, -experiment, or -spec")
+	}
+
+	var sinks []experiments.Sink
+	if m.JSONL != "" {
+		f, err := os.Create(m.JSONL)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sinks = append(sinks, &experiments.JSONLSink{W: f})
+	}
+
+	for i, inv := range invs {
+		spec, _ := experiments.Lookup(inv.Experiment)
+		tab, err := experiments.RunStrings(inv.Experiment, h.overrides(fs, spec, inv.Params), sinks...)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return fmt.Errorf("writing table: %w", err)
+			}
+		}
+		if err := WriteTable(w, tab, csv); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	xs, err := ParseFloats("0, 0.5,,1")
+	if err != nil || !reflect.DeepEqual(xs, []float64{0, 0.5, 1}) {
+		t.Fatalf("got %v, %v", xs, err)
+	}
+	if _, err := ParseFloats("0,abc"); err == nil {
+		t.Error("bad float accepted")
+	}
+	if xs, err := ParseFloats(""); err != nil || xs != nil {
+		t.Errorf("empty list: got %v, %v", xs, err)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	xs, err := ParseInts("1, -1, 16")
+	if err != nil || !reflect.DeepEqual(xs, []int{1, -1, 16}) {
+		t.Fatalf("got %v, %v", xs, err)
+	}
+	if _, err := ParseInts("1,1.5"); err == nil {
+		t.Error("float accepted as int")
+	}
+}
+
+func TestSplitNames(t *testing.T) {
+	if got := SplitNames(" local , ,bandwidth"); !reflect.DeepEqual(got, []string{"local", "bandwidth"}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := SplitNames(""); got != nil {
+		t.Fatalf("empty input: got %v", got)
+	}
+}
+
+func TestParamsFlag(t *testing.T) {
+	var p Params
+	for _, kv := range []string{"n=12", "heuristics=local,bandwidth", "journal="} {
+		if err := p.Set(kv); err != nil {
+			t.Fatalf("Set(%q): %v", kv, err)
+		}
+	}
+	if p["n"] != "12" || p["heuristics"] != "local,bandwidth" || p["journal"] != "" {
+		t.Fatalf("bad params: %v", p)
+	}
+	if err := p.Set("n=13"); err == nil {
+		t.Error("duplicate param accepted")
+	}
+	if err := p.Set("novalue"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if err := p.Set("=5"); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+// newSpecFS builds a flag set the way both mains do.
+func newSpecFS() (*flag.FlagSet, *Harness, *SpecMode) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	h := AddHarness(fs)
+	m := AddSpecMode(fs)
+	return fs, h, m
+}
+
+func execute(t *testing.T, w io.Writer, csv bool, args ...string) error {
+	t.Helper()
+	fs, h, m := newSpecFS()
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse(%v): %v", args, err)
+	}
+	if !m.Active() {
+		t.Fatalf("spec mode not active for %v", args)
+	}
+	return m.Execute(fs, w, csv, h)
+}
+
+func TestSpecModeList(t *testing.T) {
+	var out bytes.Buffer
+	if err := execute(t, &out, false, "-list"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figure1", "facade: ocd.ExperimentChaos", "-param seed=<int64>"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in listing:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSpecModeExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := execute(t, &out, false, "-experiment", "theorem4", "-param", "decoys=1,4"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Theorem 4") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+// TestHarnessSeedMerge checks that an explicitly set -seed flag reaches the
+// spec exactly like -param seed would, and that leaving it at its default
+// lets the spec default win.
+func TestHarnessSeedMerge(t *testing.T) {
+	run := func(args ...string) string {
+		var out bytes.Buffer
+		if err := execute(t, &out, false, args...); err != nil {
+			t.Fatalf("execute(%v): %v", args, err)
+		}
+		return out.String()
+	}
+	base := []string{"-experiment", "chaos", "-param", "n=12", "-param", "tokens=6",
+		"-param", "intensities=0.6", "-param", "heuristics=local"}
+	viaFlag := run(append([]string{"-seed", "9"}, base...)...)
+	viaParam := run(append(base, "-param", "seed=9")...)
+	if viaFlag != viaParam {
+		t.Errorf("-seed 9 and -param seed=9 diverge:\n--- flag ---\n%s--- param ---\n%s", viaFlag, viaParam)
+	}
+	if deflt := run(base...); deflt == viaFlag {
+		t.Error("seed override had no effect")
+	}
+	// An explicit -param wins over the flag.
+	both := run(append(append([]string{"-seed", "3"}, base...), "-param", "seed=9")...)
+	if both != viaParam {
+		t.Error("-param seed did not take precedence over -seed")
+	}
+}
+
+// TestHarnessIgnoredWhenUndeclared: figure1 declares no seed, so an explicit
+// -seed must be dropped rather than rejected as an unknown parameter.
+func TestHarnessIgnoredWhenUndeclared(t *testing.T) {
+	var out bytes.Buffer
+	if err := execute(t, &out, false, "-seed", "7", "-experiment", "figure1"); err != nil {
+		t.Fatalf("explicit -seed broke a seedless spec: %v", err)
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestSpecModeCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := execute(t, &out, true, "-experiment", "theorem4", "-param", "decoys=1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "decoys,path,") {
+		t.Errorf("not CSV:\n%s", out.String())
+	}
+}
+
+func TestSpecModeSpecFileAndJSONL(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	jsonlPath := filepath.Join(dir, "rows.jsonl")
+	spec := `[
+		{"experiment": "figure1"},
+		{"experiment": "theorem4", "params": {"decoys": "1"}}
+	]`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := execute(t, &out, false, "-spec", specPath, "-jsonl", jsonlPath); err != nil {
+		t.Fatal(err)
+	}
+	// Both tables, blank-line separated.
+	if got := out.String(); !strings.Contains(got, "Figure 1") || !strings.Contains(got, "Theorem 4") ||
+		!strings.Contains(got, "\n\n==") {
+		t.Errorf("spec file output malformed:\n%s", got)
+	}
+	rows, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSONL stream carries both experiments' head lines.
+	if got := string(rows); strings.Count(got, `"title"`) != 2 {
+		t.Errorf("JSONL stream malformed:\n%s", got)
+	}
+}
+
+func TestSpecModeErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-list", "-experiment", "figure1"},
+		{"-experiment", "figure1", "-spec", "x.json"},
+		{"-param", "n=12"},
+		{"-experiment", "nope"},
+		{"-experiment", "chaos", "-param", "nope=1"},
+		{"-experiment", "chaos", "-param", "n=abc"},
+		{"-spec", "/does/not/exist.json"},
+	} {
+		if err := execute(t, io.Discard, false, args...); err == nil {
+			t.Errorf("Execute(%v) accepted invalid invocation", args)
+		}
+	}
+}
+
+func TestWriteTableReportsWriteErrors(t *testing.T) {
+	fs, h, m := newSpecFS()
+	if err := fs.Parse([]string{"-experiment", "figure1"}); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Execute(fs, failWriter{}, false, h)
+	if err == nil || !strings.Contains(err.Error(), "writing table") {
+		t.Fatalf("want write error reported, got %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

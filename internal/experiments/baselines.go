@@ -12,22 +12,47 @@ import (
 	"ocd/internal/workload"
 )
 
-// ArchitectureComparison reproduces the §2 narrative as an experiment: the
-// tree and striped-forest architectures the paper surveys (Overcast,
+func init() {
+	Register(Spec{
+		Name:       "architectures",
+		Facade:     "ExperimentArchitectures",
+		Doc:        "§2 architectures: tree and striped-forest overlays vs the paper's mesh heuristics",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "n", Kind: Int, Default: 30, Doc: "number of vertices", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 24, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed"},
+		},
+		Smoke: map[string]string{"n": "12", "tokens": "6"},
+		Run: func(a Args, em *Emitter) error {
+			return architectureComparisonImpl(a.Int("n"), a.Int("tokens"), a.Int64("seed"), em)
+		},
+	})
+}
+
+// ArchitectureComparison reproduces the §2 narrative as an experiment; see
+// architectureComparisonImpl. Kept for direct callers — the facade routes
+// through the registry.
+func ArchitectureComparison(n, tokens int, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return architectureComparisonImpl(n, tokens, seed, em)
+	})
+}
+
+// architectureComparisonImpl reproduces the §2 narrative as an experiment:
+// the tree and striped-forest architectures the paper surveys (Overcast,
 // SplitStream/CoopNet) versus its mesh heuristics, on the single-file
 // workload. Trees conserve bandwidth exactly (every token crosses each
 // tree edge once); meshes exploit cross-links to finish faster.
-func ArchitectureComparison(n, tokens int, seed int64) (*Table, error) {
+func architectureComparisonImpl(n, tokens int, seed int64, em *Emitter) error {
 	g, err := topology.Random(n, topology.DefaultCaps, seed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inst := workload.SingleFile(g, tokens)
-	t := &Table{
-		Title: fmt.Sprintf("§2 architectures vs mesh heuristics (n=%d, %d tokens)", n, tokens),
-		Columns: []string{"architecture", "moves", "bandwidth", "pruned-bw",
-			"bw-optimal"},
-	}
+	em.Head(fmt.Sprintf("§2 architectures vs mesh heuristics (n=%d, %d tokens)", n, tokens),
+		"architecture", "moves", "bandwidth", "pruned-bw",
+		"bw-optimal")
 	bwLB := core.BandwidthLowerBound(inst, nil)
 
 	type entry struct {
@@ -62,13 +87,12 @@ func ArchitectureComparison(n, tokens int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, res := range results {
-		t.AddRow(entries[i].name, res.steps, res.moves, res.pruned, res.moves == bwLB)
+		em.Emit(entries[i].name, res.steps, res.moves, res.pruned, res.moves == bwLB)
 	}
-	t.Notes = append(t.Notes,
-		"§2: spanning trees were the traditional topology, meshes came into favor for speed",
-		"trees hit the bandwidth lower bound exactly; meshes trade duplicate-free delivery for parallel paths")
-	return t, nil
+	em.Note("§2: spanning trees were the traditional topology, meshes came into favor for speed")
+	em.Note("trees hit the bandwidth lower bound exactly; meshes trade duplicate-free delivery for parallel paths")
+	return nil
 }

@@ -12,19 +12,45 @@ import (
 	"ocd/internal/sim"
 )
 
-// BoundsQuality delivers the paper's §1 promise to "calculate bounds (not
-// necessarily tight) to provide a rough notion of the quality of our local
-// and global heuristics": on random small instances where the exact optima
-// are computable, it reports each heuristic's makespan and pruned
+func init() {
+	Register(Spec{
+		Name:       "bounds-quality",
+		Facade:     "ExperimentBoundsQuality",
+		Doc:        "heuristic makespan/bandwidth as ratios to certified optima on random small instances",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "instances", Kind: Int, Default: 5, Doc: "number of random instances", Check: checkPositive},
+			{Name: "n", Kind: Int, Default: 5, Doc: "vertices per instance", Check: checkPositive},
+			{Name: "m", Kind: Int, Default: 3, Doc: "tokens per instance", Check: checkPositive},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed for the instance stream"},
+		},
+		Smoke: map[string]string{"instances": "2", "n": "4", "m": "2"},
+		Run: func(a Args, em *Emitter) error {
+			return boundsQualityImpl(a.Int("instances"), a.Int("n"), a.Int("m"), a.Int64("seed"), em)
+		},
+	})
+}
+
+// BoundsQuality delivers the paper's §1 bound-quality promise; see
+// boundsQualityImpl. Kept for direct callers — the facade routes through
+// the registry.
+func BoundsQuality(instances, n, m int, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return boundsQualityImpl(instances, n, m, seed, em)
+	})
+}
+
+// boundsQualityImpl delivers the paper's §1 promise to "calculate bounds
+// (not necessarily tight) to provide a rough notion of the quality of our
+// local and global heuristics": on random small instances where the exact
+// optima are computable, it reports each heuristic's makespan and pruned
 // bandwidth as ratios to the certified optimum, alongside the §5.1 lower
 // bounds' own tightness.
-func BoundsQuality(instances, n, m int, seed int64) (*Table, error) {
-	t := &Table{
-		Title: fmt.Sprintf("heuristic quality vs certified optima (%d random instances, n=%d, m=%d)",
-			instances, n, m),
-		Columns: []string{"instance", "heuristic", "moves/opt", "bw/opt",
-			"movesLB/opt", "flowLB/opt", "bwLB/opt"},
-	}
+func boundsQualityImpl(instances, n, m int, seed int64, em *Emitter) error {
+	em.Head(fmt.Sprintf("heuristic quality vs certified optima (%d random instances, n=%d, m=%d)",
+		instances, n, m),
+		"instance", "heuristic", "moves/opt", "bw/opt",
+		"movesLB/opt", "flowLB/opt", "bwLB/opt")
 	// The tiny instances are drawn serially from one RNG stream (each draw
 	// depends on the previous); the expensive exact solves and heuristic
 	// runs then fan out with one cell per instance.
@@ -81,22 +107,21 @@ func BoundsQuality(instances, n, m int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, cell := range results {
 		for h, out := range cell.heur {
 			if out.failed {
-				t.AddRow(i, heuristics.Names()[h], "-", "-", "-", "-", "-")
+				em.Emit(i, heuristics.Names()[h], "-", "-", "-", "-", "-")
 				continue
 			}
-			t.AddRow(i, heuristics.Names()[h],
+			em.Emit(i, heuristics.Names()[h],
 				ratio(out.steps, cell.optSteps), ratio(out.pruned, cell.optBW),
 				ratio(cell.stepLB, cell.optSteps), ratio(cell.flowLB, cell.optSteps), ratio(cell.bwLB, cell.optBW))
 		}
 	}
-	t.Notes = append(t.Notes,
-		"ratios are to the certified optimum: 1.00 is optimal; lower-bound ratios below 1.00 measure bound looseness")
-	return t, nil
+	em.Note("ratios are to the certified optimum: 1.00 is optimal; lower-bound ratios below 1.00 measure bound looseness")
+	return nil
 }
 
 func ratio(x, opt int) string {

@@ -40,6 +40,23 @@ func chaosFactory(name string, plan fault.Plan) (sim.Factory, error) {
 		name, heuristics.Names())
 }
 
+// ResolveHeuristics resolves every name through the chaos naming scheme
+// (paper heuristics, protocol-local, retry-<name>) against plan. It is the
+// single validation point for the fault-layer sweeps (Chaos, Partition,
+// ChurnSweep) and the spec layer's heuristic-list checks, so an unknown
+// name produces one canonical error everywhere.
+func ResolveHeuristics(names []string, plan fault.Plan) ([]sim.Factory, error) {
+	fs := make([]sim.Factory, len(names))
+	for i, name := range names {
+		f, err := chaosFactory(name, plan)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return fs, nil
+}
+
 // chaosCell carries a faulted run's result through the runner; a stall is
 // row data ("stalled" outcome), not a cell failure.
 type chaosCell struct {
@@ -65,31 +82,73 @@ func outcome(res *fault.Result, err error) string {
 	}
 }
 
-// Chaos sweeps fault intensity × heuristic on one workload: each cell runs
-// the heuristic under the canonical composite plan fault.AtIntensity
+func init() {
+	Register(Spec{
+		Name:       "chaos",
+		Facade:     "ExperimentChaos",
+		Doc:        "fault intensity × heuristic sweep under the canonical chaos plan",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "n", Kind: Int, Default: 30, Doc: "number of vertices", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 24, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "intensities", Kind: Floats, Default: []float64{0, 0.25, 0.5, 0.75, 1},
+				Doc: "fault intensities in [0,1]", Check: checkAll(checkNonEmpty, checkUnit)},
+			{Name: "heuristics", Kind: Strings, Default: []string{"local", "bandwidth", "retry-local"},
+				Doc: "heuristic names; retry-<name> wraps in the backoff sender", Check: checkChaosHeuristics},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed (topology, fault plan, strategies)"},
+		},
+		Smoke: map[string]string{"n": "12", "tokens": "6", "intensities": "0,0.5", "heuristics": "local,retry-local"},
+		Run: func(a Args, em *Emitter) error {
+			return chaosImpl(a.Int("n"), a.Int("tokens"), a.Floats("intensities"), a.Strings("heuristics"), a.Int64("seed"), em)
+		},
+	})
+	Register(Spec{
+		Name:       "crashed-source",
+		Facade:     "ExperimentCrashedSource",
+		Doc:        "crash-stop the sole source mid-distribution; graceful unsatisfiability report",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "n", Kind: Int, Default: 30, Doc: "number of vertices", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 24, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "crash-at", Kind: Int, Default: 2, Doc: "step at which the sole source crash-stops", Check: checkNonNegative},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed"},
+		},
+		Smoke: map[string]string{"n": "12", "tokens": "6", "crash-at": "1"},
+		Run: func(a Args, em *Emitter) error {
+			return crashedSourceImpl(a.Int("n"), a.Int("tokens"), a.Int("crash-at"), a.Int64("seed"), em)
+		},
+	})
+}
+
+// Chaos sweeps fault intensity × heuristic on one workload; see chaosImpl.
+// Kept for direct callers — the facade routes through the registry.
+func Chaos(n, tokens int, intensities []float64, heuristicNames []string, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return chaosImpl(n, tokens, intensities, heuristicNames, seed, em)
+	})
+}
+
+// chaosImpl sweeps fault intensity × heuristic on one workload: each cell
+// runs the heuristic under the canonical composite plan fault.AtIntensity
 // (bursty Gilbert–Elliott loss, random crash/recovery churn with download
 // loss, gossip loss) and reports the degradation metrics next to a
 // fault-free baseline of the same heuristic, so the "inflation" column is
 // makespan under faults relative to makespan without.
-func Chaos(n, tokens int, intensities []float64, heuristicNames []string, seed int64) (*Table, error) {
-	g, err := topology.Random(n, topology.DefaultCaps, seed)
-	if err != nil {
-		return nil, err
-	}
-	inst := workload.SingleFile(g, tokens)
-	t := &Table{
-		Title: fmt.Sprintf("chaos sweep: fault intensity × heuristic (n=%d, %d tokens)",
-			n, tokens),
-		Columns: []string{"intensity", "heuristic", "outcome", "delivered",
-			"moves", "lost", "retrans", "wasted", "crashes", "inflation"},
-	}
+func chaosImpl(n, tokens int, intensities []float64, heuristicNames []string, seed int64, em *Emitter) error {
 	// Validate every name up front so an unknown heuristic fails before any
 	// cell runs.
-	for _, name := range heuristicNames {
-		if _, err := chaosFactory(name, fault.Plan{}); err != nil {
-			return nil, err
-		}
+	if _, err := ResolveHeuristics(heuristicNames, fault.Plan{}); err != nil {
+		return err
 	}
+	g, err := topology.Random(n, topology.DefaultCaps, seed)
+	if err != nil {
+		return err
+	}
+	inst := workload.SingleFile(g, tokens)
+	em.Head(fmt.Sprintf("chaos sweep: fault intensity × heuristic (n=%d, %d tokens)",
+		n, tokens),
+		"intensity", "heuristic", "outcome", "delivered",
+		"moves", "lost", "retrans", "wasted", "crashes", "inflation")
 
 	// Every chaos cell shares one seed key: the original harness ran the
 	// whole table off a single seed, and the intensity-0 cells must replay
@@ -115,7 +174,7 @@ func Chaos(n, tokens int, intensities []float64, heuristicNames []string, seed i
 	}
 	baseSteps, err := runner.Map(seed, baseCells, runner.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("chaos: %w", err)
+		return fmt.Errorf("chaos: %w", err)
 	}
 	baseline := make(map[string]int, len(heuristicNames))
 	for i, name := range heuristicNames {
@@ -149,7 +208,7 @@ func Chaos(n, tokens int, intensities []float64, heuristicNames []string, seed i
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("chaos: %w", err)
+		return fmt.Errorf("chaos: %w", err)
 	}
 
 	idx := 0
@@ -162,37 +221,43 @@ func Chaos(n, tokens int, intensities []float64, heuristicNames []string, seed i
 			if res.Completed && baseline[name] > 0 {
 				inflation = fmt.Sprintf("%.2f", float64(res.Steps)/float64(baseline[name]))
 			}
-			t.AddRow(fmt.Sprintf("%.2f", x), name, outcome(res, cell.err),
+			em.Emit(fmt.Sprintf("%.2f", x), name, outcome(res, cell.err),
 				fmt.Sprintf("%.0f%%", res.DeliveredFraction*100),
 				res.Moves, res.Lost, res.Retransmissions, res.WastedMoves,
 				res.Crashes, inflation)
 		}
 	}
-	t.Notes = append(t.Notes,
-		"intensity x scales the canonical plan: Gilbert–Elliott loss, crash/recovery churn (source protected), download loss on crash, gossip loss",
-		"inflation is faulted makespan over the same heuristic's fault-free makespan; '-' when the faulted run did not complete",
-		"retry-<name> wraps a heuristic in the retry-with-backoff sender")
-	return t, nil
+	em.Note("intensity x scales the canonical plan: Gilbert–Elliott loss, crash/recovery churn (source protected), download loss on crash, gossip loss")
+	em.Note("inflation is faulted makespan over the same heuristic's fault-free makespan; '-' when the faulted run did not complete")
+	em.Note("retry-<name> wraps a heuristic in the retry-with-backoff sender")
+	return nil
 }
 
-// CrashedSource demonstrates graceful degradation on the harshest fault:
-// the sole holder of the file crash-stops mid-distribution. Whatever the
-// source pushed out before dying keeps spreading; every token it still
-// held exclusively becomes provably undeliverable, and the run terminates
-// with an explicit unsatisfiable-receiver report instead of idling to the
-// Theorem 1 horizon.
+// CrashedSource demonstrates graceful degradation on the harshest fault;
+// see crashedSourceImpl. Kept for direct callers — the facade routes
+// through the registry.
 func CrashedSource(n, tokens, crashAt int, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return crashedSourceImpl(n, tokens, crashAt, seed, em)
+	})
+}
+
+// crashedSourceImpl demonstrates graceful degradation on the harshest
+// fault: the sole holder of the file crash-stops mid-distribution.
+// Whatever the source pushed out before dying keeps spreading; every token
+// it still held exclusively becomes provably undeliverable, and the run
+// terminates with an explicit unsatisfiable-receiver report instead of
+// idling to the Theorem 1 horizon.
+func crashedSourceImpl(n, tokens, crashAt int, seed int64, em *Emitter) error {
 	g, err := topology.Random(n, topology.DefaultCaps, seed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inst := workload.SingleFile(g, tokens)
-	t := &Table{
-		Title: fmt.Sprintf("crashed sole source: crash-stop at step %d (n=%d, %d tokens, horizon %d)",
-			crashAt, n, tokens, inst.TheoremOneHorizon()),
-		Columns: []string{"heuristic", "outcome", "steps", "delivered",
-			"unsatisfiable", "moves", "lost"},
-	}
+	em.Head(fmt.Sprintf("crashed sole source: crash-stop at step %d (n=%d, %d tokens, horizon %d)",
+		crashAt, n, tokens, inst.TheoremOneHorizon()),
+		"heuristic", "outcome", "steps", "delivered",
+		"unsatisfiable", "moves", "lost")
 	factories := heuristics.All()
 	cells := make([]runner.Cell[chaosCell], len(factories))
 	for i, f := range factories {
@@ -216,16 +281,15 @@ func CrashedSource(n, tokens, crashAt int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("crashed source: %w", err)
+		return fmt.Errorf("crashed source: %w", err)
 	}
 	for i := range factories {
 		res := results[i].res
-		t.AddRow(heuristics.Names()[i], outcome(res, results[i].err), res.Steps,
+		em.Emit(heuristics.Names()[i], outcome(res, results[i].err), res.Steps,
 			fmt.Sprintf("%.0f%%", res.DeliveredFraction*100),
 			len(res.Unsatisfiable), res.Moves, res.Lost)
 	}
-	t.Notes = append(t.Notes,
-		"the source crash-stops holding every token not yet pushed out; those become provably undeliverable",
-		"'graceful' rows terminated via live-holder reachability detection, well before the m(n-1) horizon and without an IdlePatience stall")
-	return t, nil
+	em.Note("the source crash-stops holding every token not yet pushed out; those become provably undeliverable")
+	em.Note("'graceful' rows terminated via live-holder reachability detection, well before the m(n-1) horizon and without an IdlePatience stall")
+	return nil
 }

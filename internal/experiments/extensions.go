@@ -15,14 +15,104 @@ import (
 	"ocd/internal/workload"
 )
 
+func init() {
+	Register(Spec{
+		Name:       "dynamic-conditions",
+		Facade:     "ExperimentDynamicConditions",
+		Doc:        "§6 changing network conditions: every heuristic under time-varying capacity models",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "n", Kind: Int, Default: 30, Doc: "number of vertices", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 24, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed (topology, models, strategies)"},
+		},
+		Smoke: map[string]string{"n": "12", "tokens": "6"},
+		Run: func(a Args, em *Emitter) error {
+			return dynamicConditionsImpl(a.Int("n"), a.Int("tokens"), a.Int64("seed"), em)
+		},
+	})
+	Register(Spec{
+		Name:       "loss-coding",
+		Facade:     "ExperimentLossCoding",
+		Doc:        "§6 encoding: uncoded vs (k,n)-coded distribution under per-move loss",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "n", Kind: Int, Default: 30, Doc: "number of vertices", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 24, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "loss", Kind: Float, Default: 0.2, Doc: "per-move loss probability in [0,1]", Check: checkUnit},
+			{Name: "redundancies", Kind: Floats, Default: []float64{1, 1.25, 1.5, 2},
+				Doc: "coding redundancy factors (n/k)", Check: checkAll(checkNonEmpty, checkPositive)},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed"},
+		},
+		Smoke: map[string]string{"n": "12", "tokens": "8", "redundancies": "1,1.5"},
+		Run: func(a Args, em *Emitter) error {
+			return lossCodingImpl(a.Int("n"), a.Int("tokens"), a.Float("loss"), a.Floats("redundancies"), a.Int64("seed"), em)
+		},
+	})
+	Register(Spec{
+		Name:       "underlay",
+		Facade:     "ExperimentUnderlay",
+		Doc:        "§6 realistic topologies: overlay-only capacities vs shared physical links",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "phys-n", Kind: Int, Default: 30, Doc: "physical network size (approximate)", Check: checkPositive},
+			{Name: "hosts", Kind: Int, Default: 12, Doc: "number of overlay hosts", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 16, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed"},
+		},
+		Smoke: map[string]string{"phys-n": "12", "hosts": "6", "tokens": "6"},
+		Run: func(a Args, em *Emitter) error {
+			return underlayComparisonImpl(a.Int("phys-n"), a.Int("hosts"), a.Int("tokens"), a.Int64("seed"), em)
+		},
+	})
+	Register(Spec{
+		Name:       "knowledge-delay",
+		Facade:     "ExperimentKnowledgeDelay",
+		Doc:        "§5.1 ablation: the Local heuristic with peer views 0..max-delay turns stale",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "n", Kind: Int, Default: 30, Doc: "number of vertices", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 16, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "max-delay", Kind: Int, Default: 3, Doc: "largest staleness to ablate", Check: checkNonNegative},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed"},
+		},
+		Smoke: map[string]string{"n": "12", "tokens": "6", "max-delay": "1"},
+		Run: func(a Args, em *Emitter) error {
+			return knowledgeDelayImpl(a.Int("n"), a.Int("tokens"), a.Int("max-delay"), a.Int64("seed"), em)
+		},
+	})
+	Register(Spec{
+		Name:       "tradeoff-curve",
+		Facade:     "ExperimentTradeoffCurve",
+		Doc:        "§3.4 hybrid objective: certified minimum bandwidth at every makespan bound",
+		SeedPolicy: SeedNone,
+		Params: []Param{
+			{Name: "instance", Kind: Instance, Default: "figure1",
+				Doc: "problem instance: \"figure1\" or a path to an instance JSON file"},
+		},
+		Run: func(a Args, em *Emitter) error {
+			return tradeoffCurveImpl(a.Instance("instance"), exact.Options{}, em)
+		},
+	})
+}
+
 // DynamicConditions reproduces the §6 "Changing network conditions"
+// scenario; see dynamicConditionsImpl. Kept for direct callers — the
+// facade routes through the registry.
+func DynamicConditions(n, tokens int, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return dynamicConditionsImpl(n, tokens, seed, em)
+	})
+}
+
+// dynamicConditionsImpl reproduces the §6 "Changing network conditions"
 // scenario: the same workload under static capacities, cross traffic,
 // random link failures, periodic load, node churn, and a possession-aware
 // adversary, for each heuristic.
-func DynamicConditions(n, tokens int, seed int64) (*Table, error) {
+func dynamicConditionsImpl(n, tokens int, seed int64, em *Emitter) error {
 	g, err := topology.Random(n, topology.DefaultCaps, seed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inst := workload.SingleFile(g, tokens)
 	// Models are built per cell: the possession-aware adversary mutates
@@ -40,10 +130,8 @@ func DynamicConditions(n, tokens int, seed int64) (*Table, error) {
 	for i, mk := range makeModels {
 		modelNames[i] = mk(seed).Name() // names do not depend on the seed
 	}
-	t := &Table{
-		Title:   fmt.Sprintf("§6 changing network conditions (n=%d, %d tokens)", n, tokens),
-		Columns: []string{"model", "heuristic", "moves", "bandwidth", "completed"},
-	}
+	em.Head(fmt.Sprintf("§6 changing network conditions (n=%d, %d tokens)", n, tokens),
+		"model", "heuristic", "moves", "bandwidth", "completed")
 	type dynCell struct {
 		steps, moves int
 		completed    bool
@@ -71,7 +159,7 @@ func DynamicConditions(n, tokens int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	idx := 0
 	for mi := range makeModels {
@@ -79,32 +167,37 @@ func DynamicConditions(n, tokens int, seed int64) (*Table, error) {
 			res := results[idx]
 			idx++
 			if res.failed {
-				t.AddRow(modelNames[mi], heuristics.Names()[i], "-", "-", false)
+				em.Emit(modelNames[mi], heuristics.Names()[i], "-", "-", false)
 				continue
 			}
-			t.AddRow(modelNames[mi], heuristics.Names()[i], res.steps, res.moves, res.completed)
+			em.Emit(modelNames[mi], heuristics.Names()[i], res.steps, res.moves, res.completed)
 		}
 	}
-	t.Notes = append(t.Notes,
-		"§6: capacities varying between turns model cross traffic, channel dynamics, mobility, and DoS",
-		"churn keeps the source up; the adversary cuts the most useful tenth of the arcs each turn")
-	return t, nil
+	em.Note("§6: capacities varying between turns model cross traffic, channel dynamics, mobility, and DoS")
+	em.Note("churn keeps the source up; the adversary cuts the most useful tenth of the arcs each turn")
+	return nil
 }
 
-// LossCoding reproduces the §6 "Encoding" scenario: under per-move loss,
-// compare the uncoded instance against (k, n) coded expansions with
-// increasing redundancy.
+// LossCoding reproduces the §6 "Encoding" scenario; see lossCodingImpl.
+// Kept for direct callers — the facade routes through the registry.
 func LossCoding(n, tokens int, lossRate float64, redundancies []float64, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return lossCodingImpl(n, tokens, lossRate, redundancies, seed, em)
+	})
+}
+
+// lossCodingImpl reproduces the §6 "Encoding" scenario: under per-move
+// loss, compare the uncoded instance against (k, n) coded expansions with
+// increasing redundancy.
+func lossCodingImpl(n, tokens int, lossRate float64, redundancies []float64, seed int64, em *Emitter) error {
 	g, err := topology.Random(n, topology.DefaultCaps, seed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inst := workload.SingleFile(g, tokens)
-	t := &Table{
-		Title: fmt.Sprintf("§6 encoding under %.0f%% loss (n=%d, %d tokens)",
-			lossRate*100, n, tokens),
-		Columns: []string{"scheme", "overhead", "moves", "bandwidth", "lost", "completed"},
-	}
+	em.Head(fmt.Sprintf("§6 encoding under %.0f%% loss (n=%d, %d tokens)",
+		lossRate*100, n, tokens),
+		"scheme", "overhead", "moves", "bandwidth", "lost", "completed")
 	// Round Robin is the knowledge-free sender for which coding matters:
 	// a lost specific token costs it a full cycle, while a coded receiver
 	// accepts any k-of-n arrivals.
@@ -158,31 +251,37 @@ func LossCoding(n, tokens int, lossRate float64, redundancies []float64, seed in
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for _, res := range results {
-		t.AddRow(res.scheme, res.overhead, res.steps, res.moves, res.lost, res.completed)
+		em.Emit(res.scheme, res.overhead, res.steps, res.moves, res.lost, res.completed)
 	}
-	t.Notes = append(t.Notes,
-		"§6: sub-token redundancy trades bandwidth overhead for loss resilience",
-		"completion under coding requires any k of n coded tokens per file")
-	return t, nil
+	em.Note("§6: sub-token redundancy trades bandwidth overhead for loss resilience")
+	em.Note("completion under coding requires any k of n coded tokens per file")
+	return nil
 }
 
-// UnderlayComparison reproduces the §6 "Realistic topologies" scenario:
-// the same overlay workload run with independent logical capacities (the
-// paper's model) versus shared physical capacities.
+// UnderlayComparison reproduces the §6 "Realistic topologies" scenario;
+// see underlayComparisonImpl. Kept for direct callers — the facade routes
+// through the registry.
 func UnderlayComparison(physN, hosts, tokens int, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return underlayComparisonImpl(physN, hosts, tokens, seed, em)
+	})
+}
+
+// underlayComparisonImpl reproduces the §6 "Realistic topologies"
+// scenario: the same overlay workload run with independent logical
+// capacities (the paper's model) versus shared physical capacities.
+func underlayComparisonImpl(physN, hosts, tokens int, seed int64, em *Emitter) error {
 	net, err := underlay.RandomNetwork(physN, hosts, 2, topology.DefaultCaps, seed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inst := workload.SingleFile(net.Overlay, tokens)
-	t := &Table{
-		Title: fmt.Sprintf("§6 realistic topologies: overlay-only vs shared underlay (phys≈%d, hosts=%d, sharing=%.1fx)",
-			physN, hosts, net.SharingFactor()),
-		Columns: []string{"heuristic", "overlay-moves", "underlay-moves", "slowdown", "overlay-bw", "underlay-bw"},
-	}
+	em.Head(fmt.Sprintf("§6 realistic topologies: overlay-only vs shared underlay (phys≈%d, hosts=%d, sharing=%.1fx)",
+		physN, hosts, net.SharingFactor()),
+		"heuristic", "overlay-moves", "underlay-moves", "slowdown", "overlay-bw", "underlay-bw")
 	// One cell per heuristic runs both the logical and the physical
 	// simulation so the slowdown ratio is computed from a single seed draw.
 	type underlayCell struct {
@@ -215,33 +314,38 @@ func UnderlayComparison(physN, hosts, tokens int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, res := range results {
 		slow := "-"
 		if res.logicalSteps > 0 {
 			slow = fmt.Sprintf("%.2f", float64(res.physicalSteps)/float64(res.logicalSteps))
 		}
-		t.AddRow(heuristics.Names()[i], res.logicalSteps, res.physicalSteps, slow,
+		em.Emit(heuristics.Names()[i], res.logicalSteps, res.physicalSteps, slow,
 			res.logicalMoves, res.physicalMoves)
 	}
-	t.Notes = append(t.Notes,
-		"§6: logical links sharing physical links make overlay capacities dependent; the overlay-only model is optimistic")
-	return t, nil
+	em.Note("§6: logical links sharing physical links make overlay capacities dependent; the overlay-only model is optimistic")
+	return nil
 }
 
-// KnowledgeDelay is the §5.1 relaxation ablation: the Local heuristic with
-// peer state views 0..maxDelay turns stale.
+// KnowledgeDelay is the §5.1 relaxation ablation; see knowledgeDelayImpl.
+// Kept for direct callers — the facade routes through the registry.
 func KnowledgeDelay(n, tokens, maxDelay int, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return knowledgeDelayImpl(n, tokens, maxDelay, seed, em)
+	})
+}
+
+// knowledgeDelayImpl is the §5.1 relaxation ablation: the Local heuristic
+// with peer state views 0..maxDelay turns stale.
+func knowledgeDelayImpl(n, tokens, maxDelay int, seed int64, em *Emitter) error {
 	g, err := topology.Random(n, topology.DefaultCaps, seed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inst := workload.SingleFile(g, tokens)
-	t := &Table{
-		Title:   fmt.Sprintf("§5.1 knowledge-delay ablation for the Local heuristic (n=%d)", n),
-		Columns: []string{"delay", "moves", "bandwidth", "pruned-bw"},
-	}
+	em.Head(fmt.Sprintf("§5.1 knowledge-delay ablation for the Local heuristic (n=%d)", n),
+		"delay", "moves", "bandwidth", "pruned-bw")
 	type delayCell struct {
 		steps, moves, pruned int
 	}
@@ -264,33 +368,39 @@ func KnowledgeDelay(n, tokens, maxDelay int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for d, res := range results {
-		t.AddRow(d, res.steps, res.moves, res.pruned)
+		em.Emit(d, res.steps, res.moves, res.pruned)
 	}
-	t.Notes = append(t.Notes,
-		"stale peer views cost duplicate deliveries (bandwidth) and extra turns; delay 0 is the paper's Local heuristic")
-	return t, nil
+	em.Note("stale peer views cost duplicate deliveries (bandwidth) and extra turns; delay 0 is the paper's Local heuristic")
+	return nil
 }
 
-// TradeoffCurve realizes the §3.4 hybrid objective: the minimum bandwidth
-// achievable at every makespan from the FOCD optimum up to the EOCD
-// optimum's natural length, certified by the exact solver. The endpoints
-// are the two poles of Figure 1.
+// TradeoffCurve realizes the §3.4 hybrid objective; see tradeoffCurveImpl.
+// Kept for direct callers (custom exact.Options) — the facade routes
+// through the registry.
 func TradeoffCurve(inst *core.Instance, opts exact.Options) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return tradeoffCurveImpl(inst, opts, em)
+	})
+}
+
+// tradeoffCurveImpl realizes the §3.4 hybrid objective: the minimum
+// bandwidth achievable at every makespan from the FOCD optimum up to the
+// EOCD optimum's natural length, certified by the exact solver. The
+// endpoints are the two poles of Figure 1.
+func tradeoffCurveImpl(inst *core.Instance, opts exact.Options, em *Emitter) error {
 	fast, err := exact.SolveFOCD(inst, opts)
 	if err != nil {
-		return nil, fmt.Errorf("tradeoff focd: %w", err)
+		return fmt.Errorf("tradeoff focd: %w", err)
 	}
 	cheap, err := exact.SolveEOCD(inst, 0, opts)
 	if err != nil {
-		return nil, fmt.Errorf("tradeoff eocd: %w", err)
+		return fmt.Errorf("tradeoff eocd: %w", err)
 	}
-	t := &Table{
-		Title:   "§3.4 hybrid objective: bandwidth-optimal subject to a makespan bound",
-		Columns: []string{"tau", "min-bandwidth", "at-focd-optimum", "at-eocd-optimum"},
-	}
+	em.Head("§3.4 hybrid objective: bandwidth-optimal subject to a makespan bound",
+		"tau", "min-bandwidth", "at-focd-optimum", "at-eocd-optimum")
 	last := cheap.Makespan()
 	if last < fast.Makespan() {
 		last = fast.Makespan()
@@ -313,13 +423,12 @@ func TradeoffCurve(inst *core.Instance, opts exact.Options) (*Table, error) {
 	}
 	moves, err := runner.Map(0, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, mv := range moves {
 		tau := fast.Makespan() + i
-		t.AddRow(tau, mv, tau == fast.Makespan(), tau == last)
+		em.Emit(tau, mv, tau == fast.Makespan(), tau == last)
 	}
-	t.Notes = append(t.Notes,
-		"the curve is non-increasing in tau; its endpoints are the Figure 1 poles")
-	return t, nil
+	em.Note("the curve is non-increasing in tau; its endpoints are the Figure 1 poles")
+	return nil
 }

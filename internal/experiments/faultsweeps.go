@@ -32,6 +32,26 @@ type FaultSweepOptions struct {
 	Parallelism int
 }
 
+// harnessParams is the shared parameter-schema tail of every spec whose
+// driver takes FaultSweepOptions: the crash-safety journal, the invariant
+// monitor, and runner parallelism.
+func harnessParams() []Param {
+	return []Param{
+		{Name: "journal", Kind: String, Default: "", Doc: "crash-safety journal path; re-invoking with the same journal resumes from completed cells"},
+		{Name: "monitor", Kind: Bool, Default: false, Doc: "attach the kernel invariant monitor; any violation fails the run"},
+		{Name: "parallelism", Kind: Int, Default: 0, Doc: "runner worker count (0 = GOMAXPROCS); output is identical at every setting", Check: checkNonNegative},
+	}
+}
+
+// harnessOptions reads the harnessParams tail back out of resolved args.
+func harnessOptions(a Args) FaultSweepOptions {
+	return FaultSweepOptions{
+		JournalPath: a.String("journal"),
+		Monitor:     a.Bool("monitor"),
+		Parallelism: a.Int("parallelism"),
+	}
+}
+
 // faultRow is one sweep cell's outcome. Every field is JSON-round-trippable
 // so journaled cells resume to byte-identical tables.
 type faultRow struct {
@@ -103,28 +123,87 @@ type sweepCell struct {
 // baselines; a high rate guarantees cuts bite within the first steps.
 const partitionStartP = 0.5
 
-// Partition sweeps partition heal time × heuristic: the overlay is split
-// into k sides by the seeded RandomPartitions model, cross-side arcs sever
-// during episodes, and each column of the sweep gives the episodes a
+// checkPartitionSides requires at least two partition sides — one side
+// would make every "partition" a no-op.
+func checkPartitionSides(v any) error {
+	if k := v.(int); k < 2 {
+		return fmt.Errorf("must be at least 2, got %d", k)
+	}
+	return nil
+}
+
+func init() {
+	Register(Spec{
+		Name:       "partition",
+		Facade:     "ExperimentPartition",
+		Doc:        "partition heal time × heuristic under the k-way RandomPartitions model",
+		SeedPolicy: SeedDerived,
+		Params: append([]Param{
+			{Name: "n", Kind: Int, Default: 30, Doc: "number of vertices", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 24, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "k", Kind: Int, Default: 2, Doc: "number of partition sides", Check: checkPartitionSides},
+			{Name: "heal", Kind: Ints, Default: []int{0, 4, 16, -1},
+				Doc: "partition heal times in steps; negative = never heals", Check: checkNonEmpty},
+			{Name: "heuristics", Kind: Strings, Default: []string{"local", "bandwidth", "retry-local"},
+				Doc: "heuristic names; retry-<name> wraps in the backoff sender", Check: checkChaosHeuristics},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed (topology, partition model, strategies)"},
+		}, harnessParams()...),
+		Smoke: map[string]string{"n": "12", "tokens": "6", "heal": "0,-1", "heuristics": "local"},
+		Run: func(a Args, em *Emitter) error {
+			return partitionImpl(a.Int("n"), a.Int("tokens"), a.Int("k"), a.Ints("heal"),
+				a.Strings("heuristics"), a.Int64("seed"), harnessOptions(a), em)
+		},
+	})
+	Register(Spec{
+		Name:       "churn",
+		Facade:     "ExperimentChurn",
+		Doc:        "membership churn rate × heuristic; members leave losing all state and rejoin empty",
+		SeedPolicy: SeedDerived,
+		Params: append([]Param{
+			{Name: "n", Kind: Int, Default: 30, Doc: "number of vertices", Check: checkPositive},
+			{Name: "tokens", Kind: Int, Default: 24, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "leave", Kind: Floats, Default: []float64{0, 0.02, 0.05, 0.1},
+				Doc: "per-step leave probabilities in [0,1]", Check: checkAll(checkNonEmpty, checkUnit)},
+			{Name: "rejoin", Kind: Float, Default: 0.5,
+				Doc: "per-step rejoin probability for absent members; 0 = departures are permanent", Check: checkUnit},
+			{Name: "heuristics", Kind: Strings, Default: []string{"local", "bandwidth", "retry-local"},
+				Doc: "heuristic names; retry-<name> wraps in the backoff sender", Check: checkChaosHeuristics},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed (topology, churn model, strategies)"},
+		}, harnessParams()...),
+		Smoke: map[string]string{"n": "12", "tokens": "6", "leave": "0,0.05", "heuristics": "local"},
+		Run: func(a Args, em *Emitter) error {
+			return churnImpl(a.Int("n"), a.Int("tokens"), a.Floats("leave"), a.Float("rejoin"),
+				a.Strings("heuristics"), a.Int64("seed"), harnessOptions(a), em)
+		},
+	})
+}
+
+// Partition sweeps partition heal time × heuristic; see partitionImpl.
+// Kept for direct callers — the facade routes through the registry.
+func Partition(n, tokens, k int, healAfters []int, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return partitionImpl(n, tokens, k, healAfters, heuristicNames, seed, opts, em)
+	})
+}
+
+// partitionImpl sweeps partition heal time × heuristic: the overlay is
+// split into k sides by the seeded RandomPartitions model, cross-side arcs
+// sever during episodes, and each column of the sweep gives the episodes a
 // different heal time (negative: the first episode never heals). The
 // liveness column separates "stalled but satisfiable once healed" from
 // proven unsatisfiability.
-func Partition(n, tokens, k int, healAfters []int, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
+func partitionImpl(n, tokens, k int, healAfters []int, heuristicNames []string, seed int64, opts FaultSweepOptions, em *Emitter) error {
 	g, err := topology.Random(n, topology.DefaultCaps, seed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inst := workload.SingleFile(g, tokens)
-	t := &Table{
-		Title: fmt.Sprintf("partition sweep: heal time × heuristic (n=%d, %d tokens, k=%d sides)",
-			n, tokens, k),
-		Columns: []string{"heal", "heuristic", "outcome", "liveness", "delivered",
-			"steps", "moves", "lost", "retrans"},
-	}
-	for _, name := range heuristicNames {
-		if _, err := chaosFactory(name, fault.Plan{}); err != nil {
-			return nil, err
-		}
+	em.Head(fmt.Sprintf("partition sweep: heal time × heuristic (n=%d, %d tokens, k=%d sides)",
+		n, tokens, k),
+		"heal", "heuristic", "outcome", "liveness", "delivered",
+		"steps", "moves", "lost", "retrans")
+	if _, err := ResolveHeuristics(heuristicNames, fault.Plan{}); err != nil {
+		return err
 	}
 
 	var cells []runner.Cell[faultRow]
@@ -150,7 +229,7 @@ func Partition(n, tokens, k int, healAfters []int, heuristicNames []string, seed
 	}
 	rows, err := mapWithJournal(seed, cells, opts)
 	if err != nil {
-		return nil, fmt.Errorf("partition: %w", err)
+		return fmt.Errorf("partition: %w", err)
 	}
 
 	idx := 0
@@ -162,40 +241,43 @@ func Partition(n, tokens, k int, healAfters []int, heuristicNames []string, seed
 		for _, name := range heuristicNames {
 			r := rows[idx]
 			idx++
-			t.AddRow(label, name, r.Outcome, r.Liveness,
+			em.Emit(label, name, r.Outcome, r.Liveness,
 				fmt.Sprintf("%.0f%%", r.Delivered*100),
 				r.Steps, r.Moves, r.Lost, r.Retrans)
 		}
 	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("RandomPartitions splits the overlay into %d seeded sides; episodes start with p=%.2f per step and last the heal time", k, partitionStartP),
-		"liveness 'healable' marks runs stalled behind transient cuts — satisfiable once healed; 'unsatisfiable' marks proven dead wants")
+	em.Notef("RandomPartitions splits the overlay into %d seeded sides; episodes start with p=%.2f per step and last the heal time", k, partitionStartP)
+	em.Note("liveness 'healable' marks runs stalled behind transient cuts — satisfiable once healed; 'unsatisfiable' marks proven dead wants")
 	if opts.Monitor {
-		t.Notes = append(t.Notes, "kernel invariant monitor attached: any violation fails the sweep")
+		em.Note("kernel invariant monitor attached: any violation fails the sweep")
 	}
-	return t, nil
+	return nil
 }
 
-// ChurnSweep sweeps membership churn rate × heuristic: members leave with
+// ChurnSweep sweeps membership churn rate × heuristic; see churnImpl. Kept
+// for direct callers — the facade routes through the registry.
+func ChurnSweep(n, tokens int, leaveRates []float64, rejoinP float64, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return churnImpl(n, tokens, leaveRates, rejoinP, heuristicNames, seed, opts, em)
+	})
+}
+
+// churnImpl sweeps membership churn rate × heuristic: members leave with
 // the per-step probability of the column (losing all state) and rejoin
 // empty with probability rejoinP; the source is protected. rejoinP of 0
 // makes every departure permanent.
-func ChurnSweep(n, tokens int, leaveRates []float64, rejoinP float64, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
+func churnImpl(n, tokens int, leaveRates []float64, rejoinP float64, heuristicNames []string, seed int64, opts FaultSweepOptions, em *Emitter) error {
 	g, err := topology.Random(n, topology.DefaultCaps, seed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inst := workload.SingleFile(g, tokens)
-	t := &Table{
-		Title: fmt.Sprintf("churn sweep: leave rate × heuristic (n=%d, %d tokens, rejoin %.2f)",
-			n, tokens, rejoinP),
-		Columns: []string{"leave", "heuristic", "outcome", "liveness", "delivered",
-			"steps", "departures", "retrans", "wasted"},
-	}
-	for _, name := range heuristicNames {
-		if _, err := chaosFactory(name, fault.Plan{}); err != nil {
-			return nil, err
-		}
+	em.Head(fmt.Sprintf("churn sweep: leave rate × heuristic (n=%d, %d tokens, rejoin %.2f)",
+		n, tokens, rejoinP),
+		"leave", "heuristic", "outcome", "liveness", "delivered",
+		"steps", "departures", "retrans", "wasted")
+	if _, err := ResolveHeuristics(heuristicNames, fault.Plan{}); err != nil {
+		return err
 	}
 
 	var cells []runner.Cell[faultRow]
@@ -221,7 +303,7 @@ func ChurnSweep(n, tokens int, leaveRates []float64, rejoinP float64, heuristicN
 	}
 	rows, err := mapWithJournal(seed, cells, opts)
 	if err != nil {
-		return nil, fmt.Errorf("churn: %w", err)
+		return fmt.Errorf("churn: %w", err)
 	}
 
 	idx := 0
@@ -229,18 +311,17 @@ func ChurnSweep(n, tokens int, leaveRates []float64, rejoinP float64, heuristicN
 		for _, name := range heuristicNames {
 			r := rows[idx]
 			idx++
-			t.AddRow(fmt.Sprintf("%.3f", leave), name, r.Outcome, r.Liveness,
+			em.Emit(fmt.Sprintf("%.3f", leave), name, r.Outcome, r.Liveness,
 				fmt.Sprintf("%.0f%%", r.Delivered*100),
 				r.Steps, r.Departures, r.Retrans, r.Wasted)
 		}
 	}
-	t.Notes = append(t.Notes,
-		"departing members lose everything they downloaded and rejoin empty; the source (vertex 0) never leaves",
-		"liveness 'healable' marks runs stalled behind transient absences; 'unsatisfiable' marks proven dead wants")
+	em.Note("departing members lose everything they downloaded and rejoin empty; the source (vertex 0) never leaves")
+	em.Note("liveness 'healable' marks runs stalled behind transient absences; 'unsatisfiable' marks proven dead wants")
 	if opts.Monitor {
-		t.Notes = append(t.Notes, "kernel invariant monitor attached: any violation fails the sweep")
+		em.Note("kernel invariant monitor attached: any violation fails the sweep")
 	}
-	return t, nil
+	return nil
 }
 
 // mapWithJournal forwards a sweep to the runner, wiring up the optional

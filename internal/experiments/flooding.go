@@ -185,20 +185,114 @@ func (c SweepConfig) runPoint(build func(seed int64) (*core.Instance, error)) (m
 	return points, stats.SummarizeInts(stepLBs), stats.SummarizeInts(bwLBs), nil
 }
 
-// GraphSize reproduces Figures 2 and 3: single source distributing one
+// checkTopology admits the two §5.2 topology family names.
+func checkTopology(v any) error {
+	if s := v.(string); s != "random" && s != "transit-stub" {
+		return fmt.Errorf("must be \"random\" or \"transit-stub\", got %q", s)
+	}
+	return nil
+}
+
+// sweepParams is the shared parameter-schema tail of the §5.2/§5.3 sweep
+// specs — everything SweepConfig holds besides the per-figure axis.
+func sweepParams() []Param {
+	return []Param{
+		{Name: "tokens", Kind: Int, Default: 200, Doc: "number of tokens in the (initial) file", Check: checkPositive},
+		{Name: "graph-seeds", Kind: Int, Default: 3, Doc: "number of graph instances per sweep point", Check: checkPositive},
+		{Name: "repeats", Kind: Int, Default: 3, Doc: "number of heuristic repetitions per graph", Check: checkPositive},
+		{Name: "heuristics", Kind: Strings, Default: []string(nil), Doc: "paper heuristic names; empty = all five", Check: checkSweepHeuristics},
+		{Name: "max-steps", Kind: Int, Default: 0, Doc: "timestep limit per run (0 = Theorem 1 horizon)", Check: checkNonNegative},
+		{Name: "parallelism", Kind: Int, Default: 0, Doc: "runner worker count (0 = GOMAXPROCS); output is identical at every setting", Check: checkNonNegative},
+		{Name: "seed", Kind: Int64, Default: int64(0), Doc: "base seed decorrelating repeated invocations"},
+	}
+}
+
+// sweepFromArgs assembles a SweepConfig from the sweepParams tail.
+func sweepFromArgs(a Args, kind GraphKind) SweepConfig {
+	return SweepConfig{
+		Kind:        kind,
+		Tokens:      a.Int("tokens"),
+		Caps:        topology.DefaultCaps,
+		GraphSeeds:  a.Int("graph-seeds"),
+		Repeats:     a.Int("repeats"),
+		Heuristics:  a.Strings("heuristics"),
+		MaxSteps:    a.Int("max-steps"),
+		BaseSeed:    a.Int64("seed"),
+		Parallelism: a.Int("parallelism"),
+	}
+}
+
+func init() {
+	Register(Spec{
+		Name:       "graph-size",
+		Facade:     "ExperimentGraphSize",
+		Doc:        "Figures 2/3: moves and bandwidth vs graph size on random or transit-stub graphs",
+		SeedPolicy: SeedDerived,
+		Params: append([]Param{
+			{Name: "topology", Kind: String, Default: "random", Doc: "topology family: random | transit-stub", Check: checkTopology},
+			{Name: "sizes", Kind: Ints, Default: []int{25, 50, 100}, Doc: "graph sizes to sweep", Check: checkAll(checkNonEmpty, checkPositive)},
+		}, sweepParams()...),
+		Smoke: map[string]string{"sizes": "12,16", "tokens": "8", "graph-seeds": "1", "repeats": "1"},
+		Run: func(a Args, em *Emitter) error {
+			kind := RandomGraph
+			if a.String("topology") == "transit-stub" {
+				kind = TransitStubGraph
+			}
+			return graphSizeImpl(sweepFromArgs(a, kind), a.Ints("sizes"), em)
+		},
+	})
+	Register(Spec{
+		Name:       "receiver-density",
+		Facade:     "ExperimentReceiverDensity",
+		Doc:        "Figure 4: moves and bandwidth vs receiver density on a fixed-size graph",
+		SeedPolicy: SeedDerived,
+		Params: append([]Param{
+			{Name: "n", Kind: Int, Default: 100, Doc: "number of vertices", Check: checkPositive},
+			{Name: "thresholds", Kind: Floats, Default: []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+				Doc: "want-set score thresholds in [0,1]", Check: checkAll(checkNonEmpty, checkUnit)},
+		}, sweepParams()...),
+		Smoke: map[string]string{"n": "12", "thresholds": "0.5", "tokens": "8", "graph-seeds": "1", "repeats": "1"},
+		Run: func(a Args, em *Emitter) error {
+			return receiverDensityImpl(sweepFromArgs(a, RandomGraph), a.Int("n"), a.Floats("thresholds"), em)
+		},
+	})
+	Register(Spec{
+		Name:       "num-files",
+		Facade:     "ExperimentNumFiles",
+		Doc:        "Figures 5/6: moves and bandwidth vs number of files, single source or multiple senders",
+		SeedPolicy: SeedDerived,
+		Params: append([]Param{
+			{Name: "n", Kind: Int, Default: 100, Doc: "number of vertices", Check: checkPositive},
+			{Name: "files", Kind: Ints, Default: []int{1, 2, 4, 8}, Doc: "file counts to sweep", Check: checkAll(checkNonEmpty, checkPositive)},
+			{Name: "multi-sender", Kind: Bool, Default: false, Doc: "source each file at a random non-wanting vertex (Figure 6)"},
+		}, sweepParams()...),
+		Smoke: map[string]string{"n": "12", "files": "1,2", "tokens": "8", "graph-seeds": "1", "repeats": "1"},
+		Run: func(a Args, em *Emitter) error {
+			return numFilesImpl(sweepFromArgs(a, RandomGraph), a.Int("n"), a.Ints("files"), a.Bool("multi-sender"), em)
+		},
+	})
+}
+
+// GraphSize reproduces Figures 2 and 3; see graphSizeImpl. Kept for direct
+// callers (custom Caps) — the facade routes through the registry.
+func GraphSize(c SweepConfig, sizes []int) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return graphSizeImpl(c, sizes, em)
+	})
+}
+
+// graphSizeImpl reproduces Figures 2 and 3: single source distributing one
 // file to all receivers, sweeping the graph size. Columns report the
 // paper's two metrics — "moves" (turns/makespan) and bandwidth — plus the
 // pruned bandwidth and the two §5.1 lower bounds.
-func GraphSize(c SweepConfig, sizes []int) (*Table, error) {
+func graphSizeImpl(c SweepConfig, sizes []int, em *Emitter) error {
 	title := fmt.Sprintf("Figure 2 (%s): moves and bandwidth vs graph size", c.Kind)
 	if c.Kind == TransitStubGraph {
 		title = fmt.Sprintf("Figure 3 (%s): moves and bandwidth vs graph size", c.Kind)
 	}
-	t := &Table{
-		Title: title,
-		Columns: []string{"n", "heuristic", "moves", "bandwidth", "pruned-bw",
-			"movesLB", "bwLB", "fails"},
-	}
+	em.Head(title,
+		"n", "heuristic", "moves", "bandwidth", "pruned-bw",
+		"movesLB", "bwLB", "fails")
 	for _, n := range sizes {
 		points, stepLB, bwLB, err := c.runPoint(func(seed int64) (*core.Instance, error) {
 			g, err := c.graph(n, seed)
@@ -208,32 +302,37 @@ func GraphSize(c SweepConfig, sizes []int) (*Table, error) {
 			return workload.SingleFile(g, c.Tokens), nil
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		names, _, _ := c.factories()
 		for _, name := range names {
 			p := points[name]
-			t.AddRow(n, name,
+			em.Emit(n, name,
 				stats.SummarizeInts(p.steps).Mean,
 				stats.SummarizeInts(p.bw).Mean,
 				stats.SummarizeInts(p.pruned).Mean,
 				stepLB.Mean, bwLB.Mean, p.failures)
 		}
 	}
-	t.Notes = append(t.Notes,
-		"paper: moves (turns) do not correlate with n; bandwidth grows roughly linearly with n",
-		"paper: round robin completes but is much slower; random stays within a constant factor of the smarter heuristics")
-	return t, nil
+	em.Note("paper: moves (turns) do not correlate with n; bandwidth grows roughly linearly with n")
+	em.Note("paper: round robin completes but is much slower; random stays within a constant factor of the smarter heuristics")
+	return nil
 }
 
-// ReceiverDensity reproduces Figure 4: single source, 200 tokens, sweeping
-// the want-set score threshold on a fixed-size graph.
+// ReceiverDensity reproduces Figure 4; see receiverDensityImpl. Kept for
+// direct callers — the facade routes through the registry.
 func ReceiverDensity(c SweepConfig, n int, thresholds []float64) (*Table, error) {
-	t := &Table{
-		Title: fmt.Sprintf("Figure 4 (%s, n=%d): moves and bandwidth vs receiver density", c.Kind, n),
-		Columns: []string{"threshold", "heuristic", "moves", "bandwidth", "pruned-bw",
-			"movesLB", "bwLB", "fails"},
-	}
+	return run1(func(em *Emitter) error {
+		return receiverDensityImpl(c, n, thresholds, em)
+	})
+}
+
+// receiverDensityImpl reproduces Figure 4: single source, 200 tokens,
+// sweeping the want-set score threshold on a fixed-size graph.
+func receiverDensityImpl(c SweepConfig, n int, thresholds []float64, em *Emitter) error {
+	em.Head(fmt.Sprintf("Figure 4 (%s, n=%d): moves and bandwidth vs receiver density", c.Kind, n),
+		"threshold", "heuristic", "moves", "bandwidth", "pruned-bw",
+		"movesLB", "bwLB", "fails")
 	for _, th := range thresholds {
 		th := th
 		points, stepLB, bwLB, err := c.runPoint(func(seed int64) (*core.Instance, error) {
@@ -244,39 +343,44 @@ func ReceiverDensity(c SweepConfig, n int, thresholds []float64) (*Table, error)
 			return workload.ReceiverDensity(g, c.Tokens, th, seed+7919), nil
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		names, _, _ := c.factories()
 		for _, name := range names {
 			p := points[name]
-			t.AddRow(fmt.Sprintf("%.2f", th), name,
+			em.Emit(fmt.Sprintf("%.2f", th), name,
 				stats.SummarizeInts(p.steps).Mean,
 				stats.SummarizeInts(p.bw).Mean,
 				stats.SummarizeInts(p.pruned).Mean,
 				stepLB.Mean, bwLB.Mean, p.failures)
 		}
 	}
-	t.Notes = append(t.Notes,
-		"paper: flooding heuristics consume near-constant bandwidth regardless of density",
-		"paper: the bandwidth heuristic is slightly slower but uses far less bandwidth at low densities",
-		"paper: pruned bandwidth of the flooding heuristics is roughly optimal")
-	return t, nil
+	em.Note("paper: flooding heuristics consume near-constant bandwidth regardless of density")
+	em.Note("paper: the bandwidth heuristic is slightly slower but uses far less bandwidth at low densities")
+	em.Note("paper: pruned bandwidth of the flooding heuristics is roughly optimal")
+	return nil
 }
 
-// NumFiles reproduces Figures 5 and 6: a fixed token mass subdivided into
-// 1..maxFiles files wanted by disjoint vertex groups, sourced at a single
-// vertex (multiSender=false, Figure 5) or at random non-wanting vertices
-// (multiSender=true, Figure 6).
+// NumFiles reproduces Figures 5 and 6; see numFilesImpl. Kept for direct
+// callers — the facade routes through the registry.
 func NumFiles(c SweepConfig, n int, fileCounts []int, multiSender bool) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return numFilesImpl(c, n, fileCounts, multiSender, em)
+	})
+}
+
+// numFilesImpl reproduces Figures 5 and 6: a fixed token mass subdivided
+// into 1..maxFiles files wanted by disjoint vertex groups, sourced at a
+// single vertex (multiSender=false, Figure 5) or at random non-wanting
+// vertices (multiSender=true, Figure 6).
+func numFilesImpl(c SweepConfig, n int, fileCounts []int, multiSender bool, em *Emitter) error {
 	fig := "Figure 5 (single source)"
 	if multiSender {
 		fig = "Figure 6 (multiple senders)"
 	}
-	t := &Table{
-		Title: fmt.Sprintf("%s (%s, n=%d, %d tokens): moves and bandwidth vs number of files", fig, c.Kind, n, c.Tokens),
-		Columns: []string{"files", "heuristic", "moves", "bandwidth", "pruned-bw",
-			"movesLB", "bwLB", "fails"},
-	}
+	em.Head(fmt.Sprintf("%s (%s, n=%d, %d tokens): moves and bandwidth vs number of files", fig, c.Kind, n, c.Tokens),
+		"files", "heuristic", "moves", "bandwidth", "pruned-bw",
+		"movesLB", "bwLB", "fails")
 	for _, files := range fileCounts {
 		files := files
 		points, stepLB, bwLB, err := c.runPoint(func(seed int64) (*core.Instance, error) {
@@ -290,20 +394,19 @@ func NumFiles(c SweepConfig, n int, fileCounts []int, multiSender bool) (*Table,
 			return workload.MultiFile(g, c.Tokens, files)
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		names, _, _ := c.factories()
 		for _, name := range names {
 			p := points[name]
-			t.AddRow(files, name,
+			em.Emit(files, name,
 				stats.SummarizeInts(p.steps).Mean,
 				stats.SummarizeInts(p.bw).Mean,
 				stats.SummarizeInts(p.pruned).Mean,
 				stepLB.Mean, bwLB.Mean, p.failures)
 		}
 	}
-	t.Notes = append(t.Notes,
-		"paper: after an initial descent, flooding heuristics level off regardless of subdivision",
-		"paper: only the bandwidth heuristic improves as wants become more constrained, tracking the lower bound and the pruned flooding bandwidth")
-	return t, nil
+	em.Note("paper: after an initial descent, flooding heuristics level off regardless of subdivision")
+	em.Note("paper: only the bandwidth heuristic improves as wants become more constrained, tracking the lower bound and the pruned flooding bandwidth")
+	return nil
 }

@@ -12,60 +12,97 @@ import (
 	"ocd/internal/workload"
 )
 
-// Figure1 reproduces the paper's Figure 1 narrative with certified optima:
-// on the reconstructed gadget, the minimum-time schedule takes 2 timesteps
-// and 6 units of bandwidth, while the minimum-bandwidth schedule takes 4
-// units of bandwidth but 3 timesteps. Both the schedule-space
-// branch-and-bound and the §3.4 time-indexed ILP certify each point.
+func init() {
+	Register(Spec{
+		Name:       "figure1",
+		Facade:     "ExperimentFigure1",
+		Doc:        "Figure 1: time vs bandwidth tension on the gadget, certified by both exact solvers",
+		SeedPolicy: SeedNone,
+		Run: func(_ Args, em *Emitter) error {
+			return figure1Impl(em)
+		},
+	})
+	Register(Spec{
+		Name:       "ilp-vs-bnb",
+		Facade:     "ExperimentILPvsBnB",
+		Doc:        "§3.4 cross-check: time-indexed ILP vs schedule branch-and-bound on random tiny instances",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "instances", Kind: Int, Default: 10, Doc: "number of random instances", Check: checkPositive},
+			{Name: "n", Kind: Int, Default: 5, Doc: "vertices per instance", Check: checkPositive},
+			{Name: "m", Kind: Int, Default: 3, Doc: "tokens per instance", Check: checkPositive},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed for the instance stream"},
+		},
+		Smoke: map[string]string{"instances": "2", "n": "4", "m": "2"},
+		Run: func(a Args, em *Emitter) error {
+			return ilpVsBnBImpl(a.Int("instances"), a.Int("n"), a.Int("m"), a.Int64("seed"), em)
+		},
+	})
+}
+
+// Figure1 reproduces the paper's Figure 1 narrative; see figure1Impl. Kept
+// for direct callers — the facade routes through the registry.
 func Figure1() (*Table, error) {
+	return run1(figure1Impl)
+}
+
+// figure1Impl reproduces the paper's Figure 1 narrative with certified
+// optima: on the reconstructed gadget, the minimum-time schedule takes 2
+// timesteps and 6 units of bandwidth, while the minimum-bandwidth schedule
+// takes 4 units of bandwidth but 3 timesteps. Both the schedule-space
+// branch-and-bound and the §3.4 time-indexed ILP certify each point.
+func figure1Impl(em *Emitter) error {
 	inst := workload.Figure1()
-	t := &Table{
-		Title:   "Figure 1: time vs bandwidth tension (certified optima)",
-		Columns: []string{"objective", "solver", "timesteps", "bandwidth"},
-	}
+	em.Head("Figure 1: time vs bandwidth tension (certified optima)",
+		"objective", "solver", "timesteps", "bandwidth")
 
 	fast, err := exact.SolveFOCD(inst, exact.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("figure1 focd: %w", err)
+		return fmt.Errorf("figure1 focd: %w", err)
 	}
 	// Minimum bandwidth achievable at the fast makespan.
 	fastCheap, err := exact.SolveEOCD(inst, fast.Makespan(), exact.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("figure1 eocd@fast: %w", err)
+		return fmt.Errorf("figure1 eocd@fast: %w", err)
 	}
-	t.AddRow("min time", "branch&bound", fast.Makespan(), fastCheap.Moves())
+	em.Emit("min time", "branch&bound", fast.Makespan(), fastCheap.Moves())
 
 	cheap, err := exact.SolveEOCD(inst, 0, exact.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("figure1 eocd: %w", err)
+		return fmt.Errorf("figure1 eocd: %w", err)
 	}
-	t.AddRow("min bandwidth", "branch&bound", cheap.Makespan(), cheap.Moves())
+	em.Emit("min bandwidth", "branch&bound", cheap.Makespan(), cheap.Moves())
 
 	for _, tau := range []int{fast.Makespan(), cheap.Makespan()} {
 		prog, err := ilp.Build(inst, tau)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sched, obj, err := prog.Solve(ilp.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("figure1 ilp tau=%d: %w", tau, err)
+			return fmt.Errorf("figure1 ilp tau=%d: %w", tau, err)
 		}
-		t.AddRow(fmt.Sprintf("min bandwidth @ tau=%d", tau), "time-indexed ILP",
+		em.Emit(fmt.Sprintf("min bandwidth @ tau=%d", tau), "time-indexed ILP",
 			sched.Makespan(), obj)
 	}
-	t.Notes = append(t.Notes,
-		"paper: minimum time = 2 timesteps / 6 bandwidth; minimum bandwidth = 4 bandwidth / 3 timesteps")
-	return t, nil
+	em.Note("paper: minimum time = 2 timesteps / 6 bandwidth; minimum bandwidth = 4 bandwidth / 3 timesteps")
+	return nil
 }
 
-// ILPvsBnB cross-validates the two exact solvers on random small
+// ILPvsBnB cross-validates the two exact solvers; see ilpVsBnBImpl. Kept
+// for direct callers — the facade routes through the registry.
+func ILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return ilpVsBnBImpl(instances, n, m, seed, em)
+	})
+}
+
+// ilpVsBnBImpl cross-validates the two exact solvers on random small
 // instances: for each instance the §3.4 ILP optimum must equal the
 // schedule-space branch-and-bound optimum for the same horizon.
-func ILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
-	t := &Table{
-		Title:   "§3.4 cross-check: time-indexed ILP vs schedule branch-and-bound",
-		Columns: []string{"instance", "n", "tokens", "tau", "ilp-bw", "bnb-bw", "agree"},
-	}
+func ilpVsBnBImpl(instances, n, m int, seed int64, em *Emitter) error {
+	em.Head("§3.4 cross-check: time-indexed ILP vs schedule branch-and-bound",
+		"instance", "n", "tokens", "tau", "ilp-bw", "bnb-bw", "agree")
 	// Instances are drawn serially from one RNG stream; the two exact
 	// solves per instance (deterministic, seed-free) fan out as cells.
 	insts := RandomTinyInstances(seed, instances, n, m)
@@ -102,12 +139,12 @@ func ILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, res := range results {
-		t.AddRow(i, res.n, res.tokens, res.tau, res.ilpBW, res.bnbBW, res.ilpBW == res.bnbBW)
+		em.Emit(i, res.n, res.tokens, res.tau, res.ilpBW, res.bnbBW, res.ilpBW == res.bnbBW)
 	}
-	return t, nil
+	return nil
 }
 
 // RandomTinyInstances draws count seeded instances from a single RNG

@@ -12,18 +12,43 @@ import (
 	"ocd/internal/workload"
 )
 
-// ProtocolComparison quantifies the price of honest knowledge: the
+func init() {
+	Register(Spec{
+		Name:       "protocol-comparison",
+		Facade:     "ExperimentProtocolComparison",
+		Doc:        "§4.1: idealized instant-aggregate Local vs the message-passing protocol realization",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "sizes", Kind: Ints, Default: []int{16, 32, 64}, Doc: "graph sizes to sweep", Check: checkAll(checkNonEmpty, checkPositive)},
+			{Name: "tokens", Kind: Int, Default: 16, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed"},
+		},
+		Smoke: map[string]string{"sizes": "12", "tokens": "6"},
+		Run: func(a Args, em *Emitter) error {
+			return protocolComparisonImpl(a.Ints("sizes"), a.Int("tokens"), a.Int64("seed"), em)
+		},
+	})
+}
+
+// ProtocolComparison quantifies the price of honest knowledge; see
+// protocolComparisonImpl. Kept for direct callers — the facade routes
+// through the registry.
+func ProtocolComparison(sizes []int, tokens int, seed int64) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return protocolComparisonImpl(sizes, tokens, seed, em)
+	})
+}
+
+// protocolComparisonImpl quantifies the price of honest knowledge: the
 // message-passing realization of the Local heuristic (every vertex learns
 // only through per-turn neighbor gossip, §4.1) versus the idealized
 // instant-aggregate version §5.1 assumes. The extra turns stay in the
 // order of the knowledge diameter — the propagation delay the idealized
 // model hides.
-func ProtocolComparison(sizes []int, tokens int, seed int64) (*Table, error) {
-	t := &Table{
-		Title: "§4.1/§5.1: idealized Local vs message-passing protocol Local",
-		Columns: []string{"n", "diameter", "ideal-moves", "protocol-moves", "extra",
-			"ideal-bw", "protocol-bw"},
-	}
+func protocolComparisonImpl(sizes []int, tokens int, seed int64, em *Emitter) error {
+	em.Head("§4.1/§5.1: idealized Local vs message-passing protocol Local",
+		"n", "diameter", "ideal-moves", "protocol-moves", "extra",
+		"ideal-bw", "protocol-bw")
 	// Each cell owns one graph size end to end: it builds the graph, runs
 	// the idealized and the protocol variant on the same seed, and returns
 	// the whole row.
@@ -63,14 +88,13 @@ func ProtocolComparison(sizes []int, tokens int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, res := range results {
-		t.AddRow(sizes[i], res.diameter, res.idealSteps, res.protoSteps,
+		em.Emit(sizes[i], res.diameter, res.idealSteps, res.protoSteps,
 			res.protoSteps-res.idealSteps, res.idealMoves, res.protoMoves)
 	}
-	t.Notes = append(t.Notes,
-		"the protocol variant learns only via per-turn neighbor gossip; its first turn is necessarily idle",
-		"extra turns are the §4.1 knowledge-propagation delay the idealized aggregates hide")
-	return t, nil
+	em.Note("the protocol variant learns only via per-turn neighbor gossip; its first turn is necessarily idle")
+	em.Note("extra turns are the §4.1 knowledge-propagation delay the idealized aggregates hide")
+	return nil
 }

@@ -11,16 +11,55 @@ import (
 	"ocd/internal/workload"
 )
 
-// Theorem4 demonstrates that no c-competitive online algorithm exists for
-// FOCD: on the adversarial family (a path whose far endpoint wants one of
-// m tokens), the worst-case makespan of the knowledge-free online
+func init() {
+	Register(Spec{
+		Name:       "theorem4",
+		Facade:     "ExperimentTheorem4",
+		Doc:        "Theorem 4: unbounded competitive ratio on the adversarial decoy family",
+		SeedPolicy: SeedNone,
+		Params: []Param{
+			{Name: "path", Kind: Int, Default: 1, Doc: "length of the adversarial path", Check: checkPositive},
+			{Name: "decoys", Kind: Ints, Default: []int{1, 4, 16, 64}, Doc: "decoy token counts to sweep", Check: checkAll(checkNonEmpty, checkPositive)},
+			{Name: "capacity", Kind: Int, Default: 1, Doc: "arc capacity on the path", Check: checkPositive},
+		},
+		Smoke: map[string]string{"decoys": "1,4"},
+		Run: func(a Args, em *Emitter) error {
+			return theorem4Impl(a.Int("path"), a.Ints("decoys"), a.Int("capacity"), em)
+		},
+	})
+	Register(Spec{
+		Name:       "oracle-additive",
+		Facade:     "ExperimentOracleAdditive",
+		Doc:        "§4.2: the propagate-then-plan oracle finishes within an additive graph diameter",
+		SeedPolicy: SeedDerived,
+		Params: []Param{
+			{Name: "sizes", Kind: Ints, Default: []int{20, 40, 80}, Doc: "graph sizes to sweep", Check: checkAll(checkNonEmpty, checkPositive)},
+			{Name: "tokens", Kind: Int, Default: 20, Doc: "number of tokens in the file", Check: checkPositive},
+			{Name: "seed", Kind: Int64, Default: int64(1), Doc: "random seed"},
+		},
+		Smoke: map[string]string{"sizes": "12", "tokens": "6"},
+		Run: func(a Args, em *Emitter) error {
+			return oracleAdditiveImpl(a.Ints("sizes"), a.Int("tokens"), a.Int64("seed"), em)
+		},
+	})
+}
+
+// Theorem4 demonstrates the unbounded competitive ratio; see theorem4Impl.
+// Kept for direct callers — the facade routes through the registry.
+func Theorem4(pathLen int, decoySweep []int, capacity int) (*Table, error) {
+	return run1(func(em *Emitter) error {
+		return theorem4Impl(pathLen, decoySweep, capacity, em)
+	})
+}
+
+// theorem4Impl demonstrates that no c-competitive online algorithm exists
+// for FOCD: on the adversarial family (a path whose far endpoint wants one
+// of m tokens), the worst-case makespan of the knowledge-free online
 // algorithm grows linearly in the number of decoy tokens while the offline
 // optimum stays at the path length, so the ratio is unbounded.
-func Theorem4(pathLen int, decoySweep []int, capacity int) (*Table, error) {
-	t := &Table{
-		Title:   "Theorem 4: unbounded competitive ratio on the adversarial family",
-		Columns: []string{"decoys", "path", "online-makespan", "offline-optimum", "ratio"},
-	}
+func theorem4Impl(pathLen int, decoySweep []int, capacity int, em *Emitter) error {
+	em.Head("Theorem 4: unbounded competitive ratio on the adversarial family",
+		"decoys", "path", "online-makespan", "offline-optimum", "ratio")
 	// The adversarial construction is deterministic; the runner only
 	// parallelizes the independent decoy counts.
 	cells := make([]runner.Cell[competitive.RatioPoint], len(decoySweep))
@@ -39,25 +78,31 @@ func Theorem4(pathLen int, decoySweep []int, capacity int) (*Table, error) {
 	}
 	results, err := runner.Map(0, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for _, pt := range results {
-		t.AddRow(pt.Decoys, pt.PathLen, pt.Online, pt.Offline, fmt.Sprintf("%.2f", pt.Ratio))
+		em.Emit(pt.Decoys, pt.PathLen, pt.Online, pt.Offline, fmt.Sprintf("%.2f", pt.Ratio))
 	}
-	t.Notes = append(t.Notes,
-		"Theorem 4: the ratio grows without bound in the decoy count, so no fixed c suffices")
-	return t, nil
+	em.Note("Theorem 4: the ratio grows without bound in the decoy count, so no fixed c suffices")
+	return nil
 }
 
-// OracleAdditive demonstrates the §4.2 upper bound: an online algorithm
-// that first lets knowledge propagate for diameter steps and then follows
-// a globally planned schedule finishes within an additive diameter of that
-// plan. Measured on random graphs with a single-file workload.
+// OracleAdditive demonstrates the §4.2 upper bound; see oracleAdditiveImpl.
+// Kept for direct callers — the facade routes through the registry.
 func OracleAdditive(sizes []int, tokens int, seed int64) (*Table, error) {
-	t := &Table{
-		Title:   "§4.2: propagate-then-plan oracle is within an additive diameter",
-		Columns: []string{"n", "diameter", "oracle-makespan", "planned-makespan", "additive-gap", "within-diameter"},
-	}
+	return run1(func(em *Emitter) error {
+		return oracleAdditiveImpl(sizes, tokens, seed, em)
+	})
+}
+
+// oracleAdditiveImpl demonstrates the §4.2 upper bound: an online
+// algorithm that first lets knowledge propagate for diameter steps and
+// then follows a globally planned schedule finishes within an additive
+// diameter of that plan. Measured on random graphs with a single-file
+// workload.
+func oracleAdditiveImpl(sizes []int, tokens int, seed int64, em *Emitter) error {
+	em.Head("§4.2: propagate-then-plan oracle is within an additive diameter",
+		"n", "diameter", "oracle-makespan", "planned-makespan", "additive-gap", "within-diameter")
 	type oracleCell struct {
 		diameter, oracleSteps, plannedSteps int
 	}
@@ -86,11 +131,11 @@ func OracleAdditive(sizes []int, tokens int, seed int64) (*Table, error) {
 	}
 	results, err := runner.Map(seed, cells, runner.Options{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, res := range results {
 		gap := res.oracleSteps - res.plannedSteps
-		t.AddRow(sizes[i], res.diameter, res.oracleSteps, res.plannedSteps, gap, gap <= res.diameter)
+		em.Emit(sizes[i], res.diameter, res.oracleSteps, res.plannedSteps, gap, gap <= res.diameter)
 	}
-	return t, nil
+	return nil
 }

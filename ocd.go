@@ -231,19 +231,44 @@ func ProtocolLocalWithGossipLoss(drop func(step, from, to int) bool) StrategyFac
 	return protocol.LocalWithGossipLoss(drop)
 }
 
+// Experiment registry — every Experiment* function below is a one-line
+// resolution against the declarative spec registry in
+// internal/experiments: the same specs back the ocdsim/ocdchaos
+// -experiment modes and -spec sweep files, so a facade call, a CLI flag
+// set, and a JSON sweep entry are three spellings of the same run.
+
+// ExperimentNames lists the registered experiment specs in sorted order.
+func ExperimentNames() []string { return experiments.Names() }
+
+// DescribeExperiments writes the experiment registry listing — every spec
+// with its parameter schema, defaults, and seed policy.
+func DescribeExperiments(w io.Writer) error { return experiments.Describe(w) }
+
+// RunExperiment runs a registered experiment by name with string parameter
+// overrides (exactly what `ocdsim -experiment name -param k=v` passes);
+// unset parameters take their declared defaults.
+func RunExperiment(name string, params map[string]string) (*Table, error) {
+	return experiments.RunStrings(name, params)
+}
+
 // ExperimentChaos sweeps fault intensity × heuristic under the canonical
 // chaos plan, reporting outcome, delivered fraction, loss/retransmission/
 // waste counters, and makespan inflation over a fault-free baseline.
 // Heuristic names accept a "retry-" prefix for the backoff wrapper.
 func ExperimentChaos(n, tokens int, intensities []float64, heuristicNames []string, seed int64) (*Table, error) {
-	return experiments.Chaos(n, tokens, intensities, heuristicNames, seed)
+	return experiments.Run("chaos", experiments.Values{
+		"n": n, "tokens": tokens, "intensities": intensities,
+		"heuristics": heuristicNames, "seed": seed,
+	})
 }
 
 // ExperimentCrashedSource crash-stops the sole holder of a single-file
 // workload at the given step and shows every heuristic terminating
 // gracefully with an explicit unsatisfiable-receiver report.
 func ExperimentCrashedSource(n, tokens, crashAt int, seed int64) (*Table, error) {
-	return experiments.CrashedSource(n, tokens, crashAt, seed)
+	return experiments.Run("crashed-source", experiments.Values{
+		"n": n, "tokens": tokens, "crash-at": crashAt, "seed": seed,
+	})
 }
 
 // FaultSweepOptions configures the partition/churn sweeps' harness ring:
@@ -254,13 +279,21 @@ type FaultSweepOptions = experiments.FaultSweepOptions
 // k-way RandomPartitions model, classifying stalled runs as healable or
 // unsatisfiable.
 func ExperimentPartition(n, tokens, k int, healAfters []int, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
-	return experiments.Partition(n, tokens, k, healAfters, heuristicNames, seed, opts)
+	return experiments.Run("partition", experiments.Values{
+		"n": n, "tokens": tokens, "k": k, "heal": healAfters,
+		"heuristics": heuristicNames, "seed": seed,
+		"journal": opts.JournalPath, "monitor": opts.Monitor, "parallelism": opts.Parallelism,
+	})
 }
 
 // ExperimentChurn sweeps membership churn rate × heuristic: members leave
 // with per-step probability (losing all state) and rejoin empty.
 func ExperimentChurn(n, tokens int, leaveRates []float64, rejoinP float64, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
-	return experiments.ChurnSweep(n, tokens, leaveRates, rejoinP, heuristicNames, seed, opts)
+	return experiments.Run("churn", experiments.Values{
+		"n": n, "tokens": tokens, "leave": leaveRates, "rejoin": rejoinP,
+		"heuristics": heuristicNames, "seed": seed,
+		"journal": opts.JournalPath, "monitor": opts.Monitor, "parallelism": opts.Parallelism,
+	})
 }
 
 // DefaultCaps is the paper's capacity range: 3..15 tokens per timestep.
@@ -461,46 +494,66 @@ func SteinerSchedule(inst *Instance) (*Schedule, error) {
 // ExperimentGraphSize reproduces Figure 2 (random) or Figure 3
 // (transit-stub) at the given sizes.
 func ExperimentGraphSize(transitStub bool, sizes []int, tokens, seeds, repeats int, baseSeed int64) (*Table, error) {
-	cfg := sweepConfig(transitStub, tokens, seeds, repeats, baseSeed)
-	return experiments.GraphSize(cfg, sizes)
+	vals := sweepValues(tokens, seeds, repeats, baseSeed)
+	vals["topology"] = "random"
+	if transitStub {
+		vals["topology"] = "transit-stub"
+	}
+	vals["sizes"] = sizes
+	return experiments.Run("graph-size", vals)
 }
 
 // ExperimentReceiverDensity reproduces Figure 4.
 func ExperimentReceiverDensity(n int, thresholds []float64, tokens, seeds, repeats int, baseSeed int64) (*Table, error) {
-	cfg := sweepConfig(false, tokens, seeds, repeats, baseSeed)
-	return experiments.ReceiverDensity(cfg, n, thresholds)
+	vals := sweepValues(tokens, seeds, repeats, baseSeed)
+	vals["n"] = n
+	vals["thresholds"] = thresholds
+	return experiments.Run("receiver-density", vals)
 }
 
 // ExperimentNumFiles reproduces Figure 5 (multiSender=false) or Figure 6
 // (multiSender=true).
 func ExperimentNumFiles(n int, fileCounts []int, tokens, seeds, repeats int, multiSender bool, baseSeed int64) (*Table, error) {
-	cfg := sweepConfig(false, tokens, seeds, repeats, baseSeed)
-	return experiments.NumFiles(cfg, n, fileCounts, multiSender)
+	vals := sweepValues(tokens, seeds, repeats, baseSeed)
+	vals["n"] = n
+	vals["files"] = fileCounts
+	vals["multi-sender"] = multiSender
+	return experiments.Run("num-files", vals)
 }
 
 // ExperimentFigure1 certifies the Figure 1 tradeoff with both exact
 // solvers.
-func ExperimentFigure1() (*Table, error) { return experiments.Figure1() }
+func ExperimentFigure1() (*Table, error) {
+	return experiments.Run("figure1", nil)
+}
 
 // ExperimentFigure7 validates the Theorem 5 reduction on random graphs.
 func ExperimentFigure7(graphs, n int, edgeP float64, seed int64) (*Table, error) {
-	return experiments.Figure7(graphs, n, edgeP, seed)
+	return experiments.Run("figure7", experiments.Values{
+		"graphs": graphs, "n": n, "edge-p": edgeP, "seed": seed,
+	})
 }
 
 // ExperimentTheorem4 measures the unbounded competitive ratio family.
 func ExperimentTheorem4(pathLen int, decoySweep []int, capacity int) (*Table, error) {
-	return experiments.Theorem4(pathLen, decoySweep, capacity)
+	return experiments.Run("theorem4", experiments.Values{
+		"path": pathLen, "decoys": decoySweep, "capacity": capacity,
+	})
 }
 
 // ExperimentOracleAdditive measures the §4.2 additive-diameter oracle.
 func ExperimentOracleAdditive(sizes []int, tokens int, seed int64) (*Table, error) {
-	return experiments.OracleAdditive(sizes, tokens, seed)
+	return experiments.Run("oracle-additive", experiments.Values{
+		"sizes": sizes, "tokens": tokens, "seed": seed,
+	})
 }
 
 // ExperimentILPvsBnB cross-checks the two exact solvers on random tiny
 // instances.
 func ExperimentILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
-	return experiments.ILPvsBnB(instances, n, m, seed)
+	return experiments.Run("ilp-vs-bnb", experiments.Values{
+		"instances": instances, "n": n, "m": m, "seed": seed,
+	})
 }
 
 // Extensions — the paper's §6 open problems, implemented as experiments.
@@ -509,31 +562,39 @@ func ExperimentILPvsBnB(instances, n, m int, seed int64) (*Table, error) {
 // capacity models (§6 "Changing network conditions" and "Arrivals and
 // departures").
 func ExperimentDynamicConditions(n, tokens int, seed int64) (*Table, error) {
-	return experiments.DynamicConditions(n, tokens, seed)
+	return experiments.Run("dynamic-conditions", experiments.Values{
+		"n": n, "tokens": tokens, "seed": seed,
+	})
 }
 
 // ExperimentLossCoding compares uncoded vs (k,n)-coded distribution under
 // per-move loss (§6 "Encoding").
 func ExperimentLossCoding(n, tokens int, lossRate float64, redundancies []float64, seed int64) (*Table, error) {
-	return experiments.LossCoding(n, tokens, lossRate, redundancies, seed)
+	return experiments.Run("loss-coding", experiments.Values{
+		"n": n, "tokens": tokens, "loss": lossRate, "redundancies": redundancies, "seed": seed,
+	})
 }
 
 // ExperimentUnderlay compares overlay-only capacities against shared
 // physical links (§6 "Realistic topologies").
 func ExperimentUnderlay(physN, hosts, tokens int, seed int64) (*Table, error) {
-	return experiments.UnderlayComparison(physN, hosts, tokens, seed)
+	return experiments.Run("underlay", experiments.Values{
+		"phys-n": physN, "hosts": hosts, "tokens": tokens, "seed": seed,
+	})
 }
 
 // ExperimentKnowledgeDelay ablates the Local heuristic's knowledge
 // freshness (§5.1's "state k turns ago" relaxation).
 func ExperimentKnowledgeDelay(n, tokens, maxDelay int, seed int64) (*Table, error) {
-	return experiments.KnowledgeDelay(n, tokens, maxDelay, seed)
+	return experiments.Run("knowledge-delay", experiments.Values{
+		"n": n, "tokens": tokens, "max-delay": maxDelay, "seed": seed,
+	})
 }
 
 // ExperimentTradeoffCurve certifies the §3.4 hybrid objective on an
 // instance: minimum bandwidth at every makespan bound.
 func ExperimentTradeoffCurve(inst *Instance) (*Table, error) {
-	return experiments.TradeoffCurve(inst, exact.Options{})
+	return experiments.Run("tradeoff-curve", experiments.Values{"instance": inst})
 }
 
 // LocalDelayedFactory returns the Local heuristic planning from peer
@@ -553,7 +614,9 @@ func SolveFOCDILP(inst *Instance) (*Schedule, int, error) {
 // to certified optima on random small instances (the paper's §1 bound-
 // quality promise).
 func ExperimentBoundsQuality(instances, n, m int, seed int64) (*Table, error) {
-	return experiments.BoundsQuality(instances, n, m, seed)
+	return experiments.Run("bounds-quality", experiments.Values{
+		"instances": instances, "n": n, "m": m, "seed": seed,
+	})
 }
 
 // ProtocolLocalFactory returns the message-passing realization of the
@@ -564,7 +627,9 @@ func ProtocolLocalFactory() StrategyFactory { return protocol.Local }
 // ExperimentProtocolComparison measures the turn cost of honest
 // message-passing knowledge versus the §5.1 idealized instant aggregates.
 func ExperimentProtocolComparison(sizes []int, tokens int, seed int64) (*Table, error) {
-	return experiments.ProtocolComparison(sizes, tokens, seed)
+	return experiments.Run("protocol-comparison", experiments.Values{
+		"sizes": sizes, "tokens": tokens, "seed": seed,
+	})
 }
 
 // TreeFactory returns the §2 single-tree (Overcast-style) architecture as
@@ -579,7 +644,9 @@ func ForestFactory(k int) StrategyFactory { return baselines.Forest(k) }
 // ExperimentArchitectures compares the §2 tree/forest architectures with
 // the paper's mesh heuristics.
 func ExperimentArchitectures(n, tokens int, seed int64) (*Table, error) {
-	return experiments.ArchitectureComparison(n, tokens, seed)
+	return experiments.Run("architectures", experiments.Values{
+		"n": n, "tokens": tokens, "seed": seed,
+	})
 }
 
 // EncodeInstanceJSON / DecodeInstanceJSON and the schedule counterparts
@@ -640,21 +707,19 @@ func DecodeStepTraceJSONL(r io.Reader) ([]StepRecord, error) {
 	return trace.DecodeStepTraceJSONL(r)
 }
 
-func sweepConfig(transitStub bool, tokens, seeds, repeats int, baseSeed int64) experiments.SweepConfig {
-	kind := experiments.RandomGraph
-	if transitStub {
-		kind = experiments.TransitStubGraph
-	}
-	cfg := experiments.DefaultSweep(kind)
+// sweepValues normalizes the shared sweep parameters the way the facade
+// always has: non-positive tokens/seeds/repeats fall back to the spec
+// defaults (the paper's settings), and the base seed is passed through.
+func sweepValues(tokens, seeds, repeats int, baseSeed int64) experiments.Values {
+	vals := experiments.Values{"seed": baseSeed}
 	if tokens > 0 {
-		cfg.Tokens = tokens
+		vals["tokens"] = tokens
 	}
 	if seeds > 0 {
-		cfg.GraphSeeds = seeds
+		vals["graph-seeds"] = seeds
 	}
 	if repeats > 0 {
-		cfg.Repeats = repeats
+		vals["repeats"] = repeats
 	}
-	cfg.BaseSeed = baseSeed
-	return cfg
+	return vals
 }
