@@ -9,10 +9,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"ocd"
 	"ocd/internal/experiments"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 )
 
@@ -32,6 +34,11 @@ type benchReport struct {
 	Grid       gridBench   `json:"grid"`
 	Heuristics []heurBench `json:"heuristics"`
 	Solver     solverBench `json:"solver"`
+	// Telemetry is the deterministic metric snapshot of the parallel grid
+	// run: kernel step-phase counters and runner cell counts. Wall-clock
+	// metrics are printed but never recorded in the report — they would
+	// make the artifact machine-dependent.
+	Telemetry []telemetry.Metric `json:"telemetry,omitempty"`
 }
 
 // gridBench times the same (graph × heuristic × repeat) cell grid serially
@@ -109,8 +116,10 @@ func benchScale(quick bool) (string, benchParams) {
 
 // benchGrid runs the Figure 2 sweep once serially and once at GOMAXPROCS
 // and checks the outputs are byte-identical — the runner's determinism
-// contract, measured rather than assumed.
-func benchGrid(p benchParams) (gridBench, error) {
+// contract, measured rather than assumed. The parallel run records into
+// the returned telemetry registry (the serial run stays uninstrumented so
+// the attached registry provably does not perturb the output).
+func benchGrid(p benchParams) (gridBench, *telemetry.Registry, error) {
 	cfg := experiments.SweepConfig{
 		Kind:       experiments.RandomGraph,
 		Tokens:     p.tokens,
@@ -119,8 +128,9 @@ func benchGrid(p benchParams) (gridBench, error) {
 		Repeats:    p.repeats,
 		BaseSeed:   1,
 	}
-	run := func(parallelism int) (string, float64, error) {
+	run := func(parallelism int, tel *telemetry.Registry) (string, float64, error) {
 		cfg.Parallelism = parallelism
+		cfg.Telemetry = tel
 		start := time.Now()
 		t, err := experiments.GraphSize(cfg, p.sizes)
 		if err != nil {
@@ -128,13 +138,14 @@ func benchGrid(p benchParams) (gridBench, error) {
 		}
 		return t.CSV(), time.Since(start).Seconds(), nil
 	}
-	serialCSV, serialSec, err := run(1)
+	serialCSV, serialSec, err := run(1, nil)
 	if err != nil {
-		return gridBench{}, fmt.Errorf("serial grid: %w", err)
+		return gridBench{}, nil, fmt.Errorf("serial grid: %w", err)
 	}
-	parallelCSV, parallelSec, err := run(0)
+	reg := telemetry.New()
+	parallelCSV, parallelSec, err := run(0, reg)
 	if err != nil {
-		return gridBench{}, fmt.Errorf("parallel grid: %w", err)
+		return gridBench{}, nil, fmt.Errorf("parallel grid: %w", err)
 	}
 	cells := len(p.sizes) * p.graphSeeds * len(ocd.Heuristics()) * p.repeats
 	return gridBench{
@@ -144,7 +155,7 @@ func benchGrid(p benchParams) (gridBench, error) {
 		CellsPerSec:           float64(cells) / parallelSec,
 		Speedup:               serialSec / parallelSec,
 		ParallelMatchesSerial: serialCSV == parallelCSV,
-	}, nil
+	}, reg, nil
 }
 
 // benchHeuristic measures the per-timestep cost of one heuristic: wall
@@ -221,6 +232,21 @@ func validateBench(data []byte) error {
 	if s.Instances <= 0 || s.ObjectiveSum <= 0 || s.BnBNodes <= 0 ||
 		s.SimplexIterations <= 0 || s.Seconds <= 0 || s.NodesPerSec <= 0 {
 		return fmt.Errorf("bench report solver metrics not positive: %+v", s)
+	}
+	var hasKernel, hasRunner bool
+	for _, m := range r.Telemetry {
+		if !m.IsDeterministic() {
+			return fmt.Errorf("bench report telemetry entry %s is %s: only deterministic metrics belong in the artifact", m.Name, m.Class)
+		}
+		if strings.HasPrefix(m.Name, "kernel.") {
+			hasKernel = true
+		}
+		if strings.HasPrefix(m.Name, "runner.") {
+			hasRunner = true
+		}
+	}
+	if !hasKernel || !hasRunner {
+		return fmt.Errorf("bench report telemetry lacks kernel.* or runner.* counters: %+v", r.Telemetry)
 	}
 	return nil
 }
@@ -343,11 +369,12 @@ func runBench(quick bool, rev, outDir string, stdout io.Writer) (benchReport, er
 		NumCPU:     runtime.NumCPU(),
 	}
 
-	grid, err := benchGrid(p)
+	grid, gridTel, err := benchGrid(p)
 	if err != nil {
 		return benchReport{}, err
 	}
 	report.Grid = grid
+	report.Telemetry = gridTel.DeterministicSnapshot()
 	fmt.Fprintf(stdout, "grid: %d cells, %.1f cells/sec, %.2fx vs serial, parallel==serial: %v\n",
 		grid.Cells, grid.CellsPerSec, grid.Speedup, grid.ParallelMatchesSerial)
 
@@ -374,6 +401,8 @@ func runBench(quick bool, rev, outDir string, stdout io.Writer) (benchReport, er
 	fmt.Fprintf(stdout, "solver: %d instances, %d nodes, %d simplex iterations, %d warm starts, %.1f nodes/sec, objective sum %d\n",
 		solver.Instances, solver.BnBNodes, solver.SimplexIterations,
 		solver.WarmStarts, solver.NodesPerSec, solver.ObjectiveSum)
+
+	fmt.Fprintf(stdout, "telemetry (parallel grid run):\n%s", gridTel.Summary())
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

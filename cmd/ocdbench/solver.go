@@ -23,12 +23,17 @@ type solverBench struct {
 	Tokens    int   `json:"tokens"`
 	// ObjectiveSum is the sum of optimal bandwidth objectives across the
 	// set — a correctness pin: it must match the baseline exactly.
-	ObjectiveSum      int     `json:"objective_sum"`
-	BnBNodes          int     `json:"bnb_nodes"`
-	SimplexIterations int     `json:"simplex_iterations"`
-	WarmStarts        int     `json:"warm_starts"`
-	Seconds           float64 `json:"seconds"`
-	NodesPerSec       float64 `json:"nodes_per_sec"`
+	ObjectiveSum      int `json:"objective_sum"`
+	BnBNodes          int `json:"bnb_nodes"`
+	SimplexIterations int `json:"simplex_iterations"`
+	WarmStarts        int `json:"warm_starts"`
+	// BoundFlips and DualRestorations break the iteration count down
+	// further (deterministic; additive fields — baselines predating them
+	// read as zero and are simply not gated on them).
+	BoundFlips       int     `json:"bound_flips,omitempty"`
+	DualRestorations int     `json:"dual_restorations,omitempty"`
+	Seconds          float64 `json:"seconds"`
+	NodesPerSec      float64 `json:"nodes_per_sec"`
 }
 
 // solverBenchSeed pins the instance set; changing it (or the generator in
@@ -68,6 +73,8 @@ func benchSolver(p benchParams) (solverBench, error) {
 		out.BnBNodes += stats.Nodes
 		out.SimplexIterations += stats.SimplexIterations
 		out.WarmStarts += stats.WarmStarts
+		out.BoundFlips += stats.BoundFlips
+		out.DualRestorations += stats.DualRestorations
 	}
 	out.Seconds = time.Since(start).Seconds()
 	out.NodesPerSec = float64(out.BnBNodes) / out.Seconds

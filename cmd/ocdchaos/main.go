@@ -65,9 +65,43 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if spec.Active() {
-		return spec.Execute(fs, stdout, *csv, harness)
+	if err := harness.Validate(); err != nil {
+		return err
 	}
+	if err := harness.Start(); err != nil {
+		return err
+	}
+	// Finish carries the telemetry/profile write errors; it must reach the
+	// exit code even when the run itself failed first.
+	err := runModes(fs, stdout, harness, spec, *csv, scenarioFlags{
+		scenario: *scenario, n: *n, tokens: *tokens, intensities: *intensities,
+		heuristics: *heuristics, crashAt: *crashAt, k: *k, heal: *heal,
+		churnRates: *churnRates, rejoin: *rejoin,
+	})
+	if ferr := harness.Finish(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// scenarioFlags bundles the classic (non-spec) mode's parsed flags.
+type scenarioFlags struct {
+	scenario, intensities, heuristics, heal, churnRates string
+	n, tokens, crashAt, k                               int
+	rejoin                                              float64
+}
+
+func runModes(fs *flag.FlagSet, stdout io.Writer, harness *cliutil.Harness, spec *cliutil.SpecMode, csv bool, sf scenarioFlags) error {
+	if spec.Active() {
+		return spec.Execute(fs, stdout, csv, harness)
+	}
+	return runScenario(stdout, harness, csv, sf)
+}
+
+func runScenario(stdout io.Writer, harness *cliutil.Harness, csvOut bool, sf scenarioFlags) error {
+	scenario, n, tokens, intensities := &sf.scenario, &sf.n, &sf.tokens, &sf.intensities
+	heuristics, crashAt, k, heal := &sf.heuristics, &sf.crashAt, &sf.k, &sf.heal
+	churnRates, rejoin, csv := &sf.churnRates, &sf.rejoin, &csvOut
 
 	xs, err := cliutil.ParseFloats(*intensities)
 	if err != nil {
@@ -79,6 +113,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	sweepOpts := ocd.FaultSweepOptions{
 		JournalPath: harness.Journal, Monitor: harness.Monitor, Parallelism: harness.Parallelism,
+		Telemetry: harness.Registry(),
 	}
 
 	var tab *ocd.Table

@@ -59,9 +59,47 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := harness.Validate(); err != nil {
+		return err
+	}
+	if err := harness.Start(); err != nil {
+		return err
+	}
+	// Finish carries the telemetry/profile write errors; it must reach the
+	// exit code even when the run itself failed first.
+	err := runModes(fs, stdout, harness, spec, classicFlags{
+		topo: *topo, n: *n, tokens: *tokens, heuristic: *heuristic, work: *work,
+		density: *density, files: *files, maxSteps: *maxSteps, oracle: *oracle,
+		loss: *loss, patience: *patience, instPath: *instPath, dumpInst: *dumpInst,
+		dumpSched: *dumpSched, steptrace: *steptrace, timeline: *timeline,
+	})
+	if ferr := harness.Finish(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// classicFlags bundles the classic (non-spec) mode's parsed flags.
+type classicFlags struct {
+	topo, work, heuristic, instPath, dumpInst, dumpSched, steptrace string
+	n, tokens, files, maxSteps, patience                            int
+	density, loss                                                   float64
+	oracle, timeline                                                bool
+}
+
+func runModes(fs *flag.FlagSet, stdout io.Writer, harness *cliutil.Harness, spec *cliutil.SpecMode, cf classicFlags) error {
 	if spec.Active() {
 		return spec.Execute(fs, stdout, false, harness)
 	}
+	return runClassic(stdout, harness, cf)
+}
+
+func runClassic(stdout io.Writer, harness *cliutil.Harness, cf classicFlags) error {
+	topo, n, tokens, heuristic := &cf.topo, &cf.n, &cf.tokens, &cf.heuristic
+	work, density, files, maxSteps := &cf.work, &cf.density, &cf.files, &cf.maxSteps
+	oracle, loss, patience := &cf.oracle, &cf.loss, &cf.patience
+	instPath, dumpInst, dumpSched := &cf.instPath, &cf.dumpInst, &cf.dumpSched
+	steptrace, timeline := &cf.steptrace, &cf.timeline
 	seed := &harness.Seed
 	if err := validateFlags(*n, *tokens, *loss, *density, *patience, *maxSteps, *files); err != nil {
 		return err
@@ -104,9 +142,13 @@ func run(args []string, stdout io.Writer) error {
 				IdlePatience: *patience,
 			}
 			if *steptrace != "" {
+				// The kernel has one Observer seat; the explicit step trace
+				// wins over telemetry's step-phase counters.
 				col := ocd.NewStepCollector(inst)
 				opts.Observer = col
 				lastTrace = col
+			} else {
+				opts.Observer = ocd.NewKernelObserver(harness.Registry(), "sim").Observer()
 			}
 			res, err = ocd.RunHeuristic(inst, name, opts)
 		}
@@ -205,15 +247,18 @@ func buildInstance(instPath, topo, work string, n, tokens int, density float64, 
 	}
 }
 
-// writeJSON creates path and streams enc into it.
+// writeJSON creates path and streams enc into it. The close error is
+// checked — it is where buffered write failures surface, and losing it
+// would let a truncated dump exit zero.
 func writeJSON(path string, enc func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := enc(f); err != nil {
-		return err
+	werr := enc(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	return f.Close()
+	return cerr
 }

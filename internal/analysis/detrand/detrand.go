@@ -40,7 +40,17 @@ rand.NewChaCha8) and the rand.Rand/rand.Source types themselves are
 allowed: injecting a locally seeded generator is exactly the sanctioned
 pattern. The -packages flag replaces the default deterministic package
 list (comma-separated import paths; a package matches an entry exactly,
-as a path prefix entry/..., or as the entry's external test package).`
+as a path prefix entry/..., or as the entry's external test package).
+
+A wall-clock read may be annotated "//ocd:wallclock <reason>" (trailing
+comment or the line above) when it feeds an explicitly WallClock metric
+that never folds into deterministic output — the telemetry package's
+latency instruments are the sanctioned case. The directive requires a
+reason and does not excuse global-PRNG use.`
+
+// Directive is the comment prefix that suppresses a wall-clock-read
+// diagnostic for the annotated line.
+const Directive = "//ocd:wallclock"
 
 // Analyzer is the detrand go/analysis entry point.
 var Analyzer = &analysis.Analyzer{
@@ -59,6 +69,7 @@ var defaultPackages = []string{
 	"ocd/internal/dynamic",
 	"ocd/internal/topology",
 	"ocd/internal/core",
+	"ocd/internal/telemetry",
 }
 
 var packagesFlag string
@@ -104,6 +115,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	directives := collectDirectives(pass)
 
 	nodeFilter := []ast.Node{
 		(*ast.SelectorExpr)(nil),
@@ -115,7 +127,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 		switch n := n.(type) {
 		case *ast.SelectorExpr:
-			checkSelector(pass, n)
+			checkSelector(pass, n, directives)
 		case *ast.GenDecl:
 			// Only package-level declarations: the enclosing node two
 			// frames up (File -> GenDecl) marks file scope.
@@ -148,7 +160,7 @@ func deterministic(pkgPath string) bool {
 	return false
 }
 
-func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr, directives map[directiveKey]string) {
 	obj := pass.TypesInfo.Uses[sel.Sel]
 	fn, ok := obj.(*types.Func)
 	if !ok || fn.Pkg() == nil {
@@ -163,8 +175,49 @@ func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
 	if fn.Type().(*types.Signature).Recv() != nil {
 		return
 	}
+	// A wall-clock read (and only that — the directive never excuses
+	// global-PRNG use) may carry an //ocd:wallclock allowance.
+	if fn.Pkg().Path() == "time" {
+		pos := pass.Fset.Position(sel.Pos())
+		if reason, ok := directives[directiveKey{pos.Filename, pos.Line}]; ok {
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(sel.Pos(), "%s directive requires a reason: %s <why this wall-clock read is safe>",
+					Directive, Directive)
+			}
+			return
+		}
+	}
 	pass.Reportf(sel.Pos(), "use of nondeterministic %s.%s in deterministic package %s: inject a *rand.Rand (or pass the clock) instead",
 		fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+}
+
+// directiveKey identifies a source line that an //ocd:wallclock comment
+// covers.
+type directiveKey struct {
+	file string
+	line int
+}
+
+// collectDirectives gathers every //ocd:wallclock comment in the pass,
+// mapping both the comment's own line (trailing-comment form) and the
+// line below it (line-above form) to the stated reason.
+func collectDirectives(pass *analysis.Pass) map[directiveKey]string {
+	out := make(map[directiveKey]string)
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Directive) {
+					continue
+				}
+				reason := strings.TrimPrefix(c.Text, Directive)
+				line := pass.Fset.Position(c.Pos()).Line
+				out[directiveKey{fname, line}] = reason
+				out[directiveKey{fname, line + 1}] = reason
+			}
+		}
+	}
+	return out
 }
 
 // checkGlobalState reports package-level variables that hold PRNG state.

@@ -28,6 +28,11 @@ func TestNonDeterministicPackageIgnored(t *testing.T) {
 	analyzertest.Run(t, "testdata", Analyzer, "notdet")
 }
 
+func TestWallclockDirective(t *testing.T) {
+	setPackages(t, "wc")
+	analyzertest.Run(t, "testdata", Analyzer, "wc")
+}
+
 func TestNegativeFixture(t *testing.T) {
 	setPackages(t, "neg")
 	// A // want on the sanctioned injected-generator pattern must stay
@@ -46,6 +51,7 @@ func TestDefaultPackageList(t *testing.T) {
 		"ocd/internal/dynamic",
 		"ocd/internal/topology",
 		"ocd/internal/core",
+		"ocd/internal/telemetry",
 	} {
 		if !deterministic(want) {
 			t.Errorf("default package list misses %s", want)

@@ -1,0 +1,34 @@
+// Package wc is a detrand fixture exercising the //ocd:wallclock
+// allowance (the test sets -packages=wc).
+package wc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// trailing-comment form: the directive sits on the read's own line.
+func allowedTrailing() time.Time {
+	return time.Now() //ocd:wallclock latency histogram is WallClock by contract
+}
+
+// line-above form: the directive covers the line below it.
+func allowedAbove() time.Duration {
+	start := allowedTrailing()
+	//ocd:wallclock latency histogram is WallClock by contract
+	return time.Since(start)
+}
+
+func missingReason() time.Time {
+	//ocd:wallclock
+	return time.Now() // want `directive requires a reason`
+}
+
+func undirected() time.Time {
+	return time.Now() // want `use of nondeterministic time\.Now`
+}
+
+// The directive never excuses global-PRNG use.
+func prngNotExcused() int {
+	return rand.Intn(3) //ocd:wallclock not a clock // want `use of nondeterministic math/rand\.Intn`
+}

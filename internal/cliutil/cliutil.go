@@ -6,14 +6,18 @@
 package cliutil
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"ocd/internal/experiments"
+	"ocd/internal/telemetry"
 )
 
 // ParseFloats parses a comma-separated float list, skipping empty entries.
@@ -62,13 +66,22 @@ func SplitNames(s string) []string {
 }
 
 // Harness bundles the flags every experiment-running binary shares: the
-// base seed and the sweep harness ring (crash-safety journal, kernel
-// invariant monitor, runner parallelism).
+// base seed, the sweep harness ring (crash-safety journal, kernel
+// invariant monitor, runner parallelism), and the observability ring
+// (telemetry JSONL stream, pprof CPU/heap profiles). The lifecycle is
+// Validate → Start → run → Finish; Finish's error must reach the exit
+// code, since it carries the profile and telemetry write/close errors.
 type Harness struct {
 	Seed        int64
 	Journal     string
 	Monitor     bool
 	Parallelism int
+	Telemetry   string
+	CPUProfile  string
+	MemProfile  string
+
+	reg     *telemetry.Registry
+	cpuFile *os.File
 }
 
 // AddHarness registers the shared harness flags on fs.
@@ -78,7 +91,97 @@ func AddHarness(fs *flag.FlagSet) *Harness {
 	fs.StringVar(&h.Journal, "journal", "", "crash-safety journal path; re-invoking with the same journal resumes from completed cells")
 	fs.BoolVar(&h.Monitor, "monitor", false, "attach the kernel invariant monitor; any violation fails the run")
 	fs.IntVar(&h.Parallelism, "parallelism", 0, "experiment runner worker count (0 = GOMAXPROCS); output is identical at every setting")
+	fs.StringVar(&h.Telemetry, "telemetry", "", "write the run's metric stream to this JSONL file; never changes the experiment output")
+	fs.StringVar(&h.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&h.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
 	return h
+}
+
+// Validate rejects harness flag values no mode accepts.
+func (h *Harness) Validate() error {
+	if h.Parallelism < 0 {
+		return fmt.Errorf("-parallelism must be non-negative, got %d", h.Parallelism)
+	}
+	return nil
+}
+
+// Start begins the observability ring: it allocates the telemetry
+// registry when -telemetry was given and starts CPU profiling when
+// -cpuprofile was given. Finish must run (even on error paths) once
+// Start has succeeded.
+func (h *Harness) Start() error {
+	if h.Telemetry != "" {
+		h.reg = telemetry.New()
+	}
+	if h.CPUProfile != "" {
+		f, err := os.Create(h.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		h.cpuFile = f
+	}
+	return nil
+}
+
+// Registry returns the run's metric registry — nil when -telemetry is
+// off, which every instrumented seam treats as "record nothing".
+func (h *Harness) Registry() *telemetry.Registry { return h.reg }
+
+// Finish ends the observability ring: it stops the CPU profile, writes
+// the heap profile and the telemetry JSONL stream, and checks every
+// close. All failures are joined — a telemetry stream that cannot flush
+// must fail the process, not vanish in a defer.
+func (h *Harness) Finish() error {
+	var errs []error
+	if h.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := h.cpuFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("-cpuprofile: %w", err))
+		}
+		h.cpuFile = nil
+	}
+	if h.MemProfile != "" {
+		if err := writeHeapProfile(h.MemProfile); err != nil {
+			errs = append(errs, fmt.Errorf("-memprofile: %w", err))
+		}
+	}
+	if h.reg != nil && h.Telemetry != "" {
+		if err := writeTelemetry(h.Telemetry, h.reg); err != nil {
+			errs = append(errs, fmt.Errorf("-telemetry: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func writeTelemetry(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := reg.WriteJSONL(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // harnessParamNames maps the shared harness flag names onto the spec
@@ -217,29 +320,41 @@ func (m *SpecMode) Execute(fs *flag.FlagSet, w io.Writer, csv bool, h *Harness) 
 	}
 
 	var sinks []experiments.Sink
+	var jsonlFile *os.File
 	if m.JSONL != "" {
 		f, err := os.Create(m.JSONL)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		jsonlFile = f
 		sinks = append(sinks, &experiments.JSONLSink{W: f})
+	}
+	// The close error must reach the caller: a row log whose tail never
+	// hit disk is corrupt, and exiting zero would hide it.
+	closeJSONL := func(err error) error {
+		if jsonlFile == nil {
+			return err
+		}
+		if cerr := jsonlFile.Close(); cerr != nil && err == nil {
+			return fmt.Errorf("-jsonl: %w", cerr)
+		}
+		return err
 	}
 
 	for i, inv := range invs {
 		spec, _ := experiments.Lookup(inv.Experiment)
-		tab, err := experiments.RunStrings(inv.Experiment, h.overrides(fs, spec, inv.Params), sinks...)
+		tab, err := experiments.RunStringsTelemetry(inv.Experiment, h.overrides(fs, spec, inv.Params), h.Registry(), sinks...)
 		if err != nil {
-			return err
+			return closeJSONL(err)
 		}
 		if i > 0 {
 			if _, err := fmt.Fprintln(w); err != nil {
-				return fmt.Errorf("writing table: %w", err)
+				return closeJSONL(fmt.Errorf("writing table: %w", err))
 			}
 		}
 		if err := WriteTable(w, tab, csv); err != nil {
-			return err
+			return closeJSONL(err)
 		}
 	}
-	return nil
+	return closeJSONL(nil)
 }

@@ -9,6 +9,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"ocd/internal/telemetry"
 )
 
 func TestParseFloats(t *testing.T) {
@@ -199,6 +201,103 @@ func TestSpecModeErrors(t *testing.T) {
 	} {
 		if err := execute(t, io.Discard, false, args...); err == nil {
 			t.Errorf("Execute(%v) accepted invalid invocation", args)
+		}
+	}
+}
+
+// TestValidateRejectsNegativeParallelism pins the bugfix: a negative
+// -parallelism used to slip through and silently mean GOMAXPROCS.
+func TestValidateRejectsNegativeParallelism(t *testing.T) {
+	fs, h, _ := newSpecFS()
+	if err := fs.Parse([]string{"-parallelism", "-2"}); err != nil {
+		t.Fatal(err)
+	}
+	err := h.Validate()
+	if err == nil || !strings.Contains(err.Error(), "-parallelism must be non-negative") {
+		t.Fatalf("Validate() = %v, want non-negative error", err)
+	}
+	for _, p := range []string{"0", "1", "8"} {
+		fs, h, _ := newSpecFS()
+		if err := fs.Parse([]string{"-parallelism", p}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Errorf("Validate() rejected -parallelism %s: %v", p, err)
+		}
+	}
+}
+
+// TestHarnessTelemetryLifecycle runs the full Validate → Start → Execute →
+// Finish cycle with -telemetry and checks the written stream decodes and
+// carries the kernel and runner counters the sweep produced.
+func TestHarnessTelemetryLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tel.jsonl")
+	fs, h, m := newSpecFS()
+	args := []string{"-telemetry", path, "-experiment", "graph-size",
+		"-param", "sizes=12", "-param", "tokens=8", "-param", "graph-seeds=1",
+		"-param", "repeats=1", "-param", "seed=5"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Registry() == nil {
+		t.Fatal("-telemetry set but Registry() is nil")
+	}
+	if err := m.Execute(fs, io.Discard, false, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ms, err := telemetry.DecodeJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kernel, runner bool
+	for _, mtr := range ms {
+		kernel = kernel || strings.HasPrefix(mtr.Name, "kernel.")
+		runner = runner || strings.HasPrefix(mtr.Name, "runner.")
+	}
+	if !kernel || !runner {
+		t.Errorf("stream lacks kernel.*/runner.* metrics: %+v", ms)
+	}
+}
+
+// TestHarnessProfilesWritten checks the pprof flags produce non-empty
+// profile files through the same lifecycle.
+func TestHarnessProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	fs, h, m := newSpecFS()
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem, "-experiment", "figure1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Execute(fs, io.Discard, false, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
 		}
 	}
 }

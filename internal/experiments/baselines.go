@@ -8,6 +8,7 @@ import (
 	"ocd/internal/heuristics"
 	"ocd/internal/runner"
 	"ocd/internal/sim"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
 )
@@ -85,7 +86,7 @@ func architectureComparisonImpl(n, tokens int, seed int64, em *Emitter) error {
 			},
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"ocd/internal/heuristics"
 	"ocd/internal/runner"
 	"ocd/internal/sim"
+	"ocd/internal/telemetry"
 )
 
 func init() {
@@ -67,6 +68,7 @@ func boundsQualityImpl(instances, n, m int, seed int64, em *Emitter) error {
 		optSteps, optBW, stepLB, flowLB, bwLB int
 		heur                                  []heurOutcome
 	}
+	obs := telemetry.NewKernelObserver(em.Telemetry(), "sim").Observer()
 	cells := make([]runner.Cell[boundsCell], instances)
 	for i := range insts {
 		i := i
@@ -94,7 +96,7 @@ func boundsQualityImpl(instances, n, m int, seed int64, em *Emitter) error {
 					heur:   make([]heurOutcome, len(heuristics.All())),
 				}
 				for h, factory := range heuristics.All() {
-					res, err := sim.Run(inst, factory, sim.Options{Seed: cellSeed, Prune: true})
+					res, err := sim.Run(inst, factory, sim.Options{Seed: cellSeed, Prune: true, Observer: obs})
 					if err != nil || !res.Completed {
 						cell.heur[h] = heurOutcome{failed: true}
 						continue
@@ -105,7 +107,7 @@ func boundsQualityImpl(instances, n, m int, seed int64, em *Emitter) error {
 			},
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}

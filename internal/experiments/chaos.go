@@ -10,6 +10,7 @@ import (
 	"ocd/internal/protocol"
 	"ocd/internal/runner"
 	"ocd/internal/sim"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
 )
@@ -172,7 +173,7 @@ func chaosImpl(n, tokens int, intensities []float64, heuristicNames []string, se
 			},
 		}
 	}
-	baseSteps, err := runner.Map(seed, baseCells, runner.Options{})
+	baseSteps, err := runner.Map(seed, baseCells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return fmt.Errorf("chaos: %w", err)
 	}
@@ -206,7 +207,7 @@ func chaosImpl(n, tokens int, intensities []float64, heuristicNames []string, se
 			})
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return fmt.Errorf("chaos: %w", err)
 	}
@@ -279,7 +280,7 @@ func crashedSourceImpl(n, tokens, crashAt int, seed int64, em *Emitter) error {
 			},
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return fmt.Errorf("crashed source: %w", err)
 	}

@@ -10,10 +10,12 @@ package experiments
 // crash-safe execution) → sinks (presentation).
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
+
+	"ocd/internal/telemetry"
 )
 
 // Sink consumes an experiment's output as it is produced: the header once,
@@ -34,6 +36,7 @@ type Sink interface {
 // the canonical Table and fans each call out to the attached sinks.
 type Emitter struct {
 	t     *Table
+	tel   *telemetry.Registry
 	sinks []Sink
 	err   error
 }
@@ -42,6 +45,14 @@ type Emitter struct {
 func newEmitter(sinks []Sink) *Emitter {
 	return &Emitter{t: &Table{}, sinks: sinks}
 }
+
+// Telemetry returns the run's metric registry, nil when telemetry is off.
+// Drivers pass it to the instrumented seams (kernel observer, runner
+// metrics, solver counters); a nil registry makes every recording call a
+// no-op, so drivers attach instrumentation unconditionally. Telemetry
+// never feeds the Table — the table of a telemetry-on run is byte-
+// identical to a telemetry-off run.
+func (e *Emitter) Telemetry() *telemetry.Registry { return e.tel }
 
 // Head sets the table title and columns and announces them to the sinks.
 func (e *Emitter) Head(title string, columns ...string) {
@@ -104,24 +115,59 @@ func run1(f func(em *Emitter) error) (*Table, error) {
 	return em.finish()
 }
 
-// CSVSink streams the experiment as CSV: a header line, then one line per
-// row as it completes. Notes are dropped (matching Table.CSV).
+// flusher is the optional interface a sink's underlying writer may
+// implement (e.g. *bufio.Writer); sinks flush it from their own Flush so
+// buffered tail rows are never silently dropped.
+type flusher interface{ Flush() error }
+
+// flushWriter flushes w when it buffers.
+func flushWriter(w io.Writer) error {
+	if f, ok := w.(flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// CSVSink streams the experiment as RFC-4180 CSV via encoding/csv: a
+// header line, then one line per row as it completes, with cells quoted
+// whenever they contain a comma, quote, or newline. Records end in a bare
+// \n (no CRLF), so outputs whose cells need no quoting are byte-identical
+// to the historical join-with-comma format. Notes are dropped (matching
+// Table.CSV).
 type CSVSink struct {
 	W io.Writer
+
+	cw *csv.Writer
 }
 
-func (c *CSVSink) Head(_ string, columns []string) error {
-	_, err := io.WriteString(c.W, strings.Join(columns, ",")+"\n")
-	return err
+func (c *CSVSink) write(record []string) error {
+	if c.cw == nil {
+		c.cw = csv.NewWriter(c.W)
+	}
+	if err := c.cw.Write(record); err != nil {
+		return err
+	}
+	// Flush per record so the stream tails correctly mid-sweep; the
+	// write error (if any) surfaces here or in Flush via cw.Error().
+	c.cw.Flush()
+	return c.cw.Error()
 }
 
-func (c *CSVSink) Row(cells []string) error {
-	_, err := io.WriteString(c.W, strings.Join(cells, ",")+"\n")
-	return err
-}
+func (c *CSVSink) Head(_ string, columns []string) error { return c.write(columns) }
+
+func (c *CSVSink) Row(cells []string) error { return c.write(cells) }
 
 func (c *CSVSink) Note(string) error { return nil }
-func (c *CSVSink) Flush() error      { return nil }
+
+func (c *CSVSink) Flush() error {
+	if c.cw != nil {
+		c.cw.Flush()
+		if err := c.cw.Error(); err != nil {
+			return err
+		}
+	}
+	return flushWriter(c.W)
+}
 
 // JSONLSink streams the experiment as JSONL: one {"title","columns"}
 // object, then one {"row"} object per row, then {"note"} objects — a
@@ -151,4 +197,4 @@ func (j *JSONLSink) Note(note string) error {
 	}{Note: note})
 }
 
-func (j *JSONLSink) Flush() error { return nil }
+func (j *JSONLSink) Flush() error { return flushWriter(j.W) }

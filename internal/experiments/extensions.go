@@ -10,6 +10,7 @@ import (
 	"ocd/internal/heuristics"
 	"ocd/internal/runner"
 	"ocd/internal/sim"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 	"ocd/internal/underlay"
 	"ocd/internal/workload"
@@ -157,7 +158,7 @@ func dynamicConditionsImpl(n, tokens int, seed int64, em *Emitter) error {
 			})
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}
@@ -249,7 +250,7 @@ func lossCodingImpl(n, tokens int, lossRate float64, redundancies []float64, see
 			},
 		})
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}
@@ -312,7 +313,7 @@ func underlayComparisonImpl(physN, hosts, tokens int, seed int64, em *Emitter) e
 			},
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}
@@ -366,7 +367,7 @@ func knowledgeDelayImpl(n, tokens, maxDelay int, seed int64, em *Emitter) error 
 			},
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}
@@ -421,7 +422,7 @@ func tradeoffCurveImpl(inst *core.Instance, opts exact.Options, em *Emitter) err
 			},
 		})
 	}
-	moves, err := runner.Map(0, cells, runner.Options{})
+	moves, err := runner.Map(0, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}

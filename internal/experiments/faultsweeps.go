@@ -14,6 +14,7 @@ import (
 	"ocd/internal/fault"
 	"ocd/internal/runner"
 	"ocd/internal/sim"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 	"ocd/internal/trace"
 	"ocd/internal/workload"
@@ -30,6 +31,11 @@ type FaultSweepOptions struct {
 	Monitor bool
 	// Parallelism is forwarded to the runner. Zero means GOMAXPROCS.
 	Parallelism int
+	// Telemetry, when non-nil, receives runner cell metrics from the
+	// sweep. Kernel step-phase counters are not collected here: the
+	// invariant monitor occupies the single kernel Observer seat when
+	// -monitor is set, and fault cells keep that seat free for it.
+	Telemetry *telemetry.Registry
 }
 
 // harnessParams is the shared parameter-schema tail of every spec whose
@@ -150,8 +156,10 @@ func init() {
 		}, harnessParams()...),
 		Smoke: map[string]string{"n": "12", "tokens": "6", "heal": "0,-1", "heuristics": "local"},
 		Run: func(a Args, em *Emitter) error {
+			opts := harnessOptions(a)
+			opts.Telemetry = em.Telemetry()
 			return partitionImpl(a.Int("n"), a.Int("tokens"), a.Int("k"), a.Ints("heal"),
-				a.Strings("heuristics"), a.Int64("seed"), harnessOptions(a), em)
+				a.Strings("heuristics"), a.Int64("seed"), opts, em)
 		},
 	})
 	Register(Spec{
@@ -172,8 +180,10 @@ func init() {
 		}, harnessParams()...),
 		Smoke: map[string]string{"n": "12", "tokens": "6", "leave": "0,0.05", "heuristics": "local"},
 		Run: func(a Args, em *Emitter) error {
+			opts := harnessOptions(a)
+			opts.Telemetry = em.Telemetry()
 			return churnImpl(a.Int("n"), a.Int("tokens"), a.Floats("leave"), a.Float("rejoin"),
-				a.Strings("heuristics"), a.Int64("seed"), harnessOptions(a), em)
+				a.Strings("heuristics"), a.Int64("seed"), opts, em)
 		},
 	})
 }
@@ -325,16 +335,28 @@ func churnImpl(n, tokens int, leaveRates []float64, rejoinP float64, heuristicNa
 }
 
 // mapWithJournal forwards a sweep to the runner, wiring up the optional
-// crash-safety journal.
+// crash-safety journal. The journal's close error is propagated: a
+// journal that cannot flush its tail would silently lose completed cells
+// on the next resume.
 func mapWithJournal(seed int64, cells []runner.Cell[faultRow], opts FaultSweepOptions) ([]faultRow, error) {
-	ropts := runner.Options{Parallelism: opts.Parallelism}
+	ropts := runner.Options{
+		Parallelism: opts.Parallelism,
+		Metrics:     telemetry.NewRunnerMetrics(opts.Telemetry),
+	}
+	var j *runner.Journal
 	if opts.JournalPath != "" {
-		j, err := runner.OpenJournal(opts.JournalPath)
+		var err error
+		j, err = runner.OpenJournal(opts.JournalPath)
 		if err != nil {
 			return nil, err
 		}
-		defer j.Close()
 		ropts.Journal = j
 	}
-	return runner.Map(seed, cells, ropts)
+	rows, err := runner.Map(seed, cells, ropts)
+	if j != nil {
+		if cerr := j.Close(); cerr != nil && err == nil {
+			return nil, fmt.Errorf("journal close: %w", cerr)
+		}
+	}
+	return rows, err
 }

@@ -9,6 +9,7 @@ import (
 	"ocd/internal/runner"
 	"ocd/internal/sim"
 	"ocd/internal/stats"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
 )
@@ -53,6 +54,9 @@ type SweepConfig struct {
 	// output is identical at every setting: each cell's seed is derived
 	// from its stable key, never from scheduling.
 	Parallelism int
+	// Telemetry, when non-nil, receives kernel step-phase counters and
+	// runner cell metrics from the sweep. It never affects the results.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultSweep mirrors the paper's settings: 200-token file, capacities
@@ -132,6 +136,9 @@ func (c SweepConfig) runPoint(build func(seed int64) (*core.Instance, error)) (m
 		bwLBs = append(bwLBs, core.BandwidthLowerBound(inst, nil))
 	}
 
+	// One shared observer for every cell: the counters are atomic and the
+	// observer never touches per-run state, so concurrent cells may feed it.
+	obs := telemetry.NewKernelObserver(c.Telemetry, "sim").Observer()
 	var cells []runner.Cell[cellResult]
 	for gs := 0; gs < c.GraphSeeds; gs++ {
 		inst := insts[gs]
@@ -146,6 +153,7 @@ func (c SweepConfig) runPoint(build func(seed int64) (*core.Instance, error)) (m
 							MaxSteps: c.MaxSteps,
 							Seed:     seed,
 							Prune:    true,
+							Observer: obs,
 						})
 						if err != nil || !res.Completed {
 							return cellResult{failed: true}, nil
@@ -156,7 +164,10 @@ func (c SweepConfig) runPoint(build func(seed int64) (*core.Instance, error)) (m
 			}
 		}
 	}
-	results, err := runner.Map(c.BaseSeed, cells, runner.Options{Parallelism: c.Parallelism})
+	results, err := runner.Map(c.BaseSeed, cells, runner.Options{
+		Parallelism: c.Parallelism,
+		Metrics:     telemetry.NewRunnerMetrics(c.Telemetry),
+	})
 	if err != nil {
 		return nil, stats.Summary{}, stats.Summary{}, err
 	}
@@ -238,7 +249,9 @@ func init() {
 			if a.String("topology") == "transit-stub" {
 				kind = TransitStubGraph
 			}
-			return graphSizeImpl(sweepFromArgs(a, kind), a.Ints("sizes"), em)
+			c := sweepFromArgs(a, kind)
+			c.Telemetry = em.Telemetry()
+			return graphSizeImpl(c, a.Ints("sizes"), em)
 		},
 	})
 	Register(Spec{
@@ -253,7 +266,9 @@ func init() {
 		}, sweepParams()...),
 		Smoke: map[string]string{"n": "12", "thresholds": "0.5", "tokens": "8", "graph-seeds": "1", "repeats": "1"},
 		Run: func(a Args, em *Emitter) error {
-			return receiverDensityImpl(sweepFromArgs(a, RandomGraph), a.Int("n"), a.Floats("thresholds"), em)
+			c := sweepFromArgs(a, RandomGraph)
+			c.Telemetry = em.Telemetry()
+			return receiverDensityImpl(c, a.Int("n"), a.Floats("thresholds"), em)
 		},
 	})
 	Register(Spec{
@@ -268,7 +283,9 @@ func init() {
 		}, sweepParams()...),
 		Smoke: map[string]string{"n": "12", "files": "1,2", "tokens": "8", "graph-seeds": "1", "repeats": "1"},
 		Run: func(a Args, em *Emitter) error {
-			return numFilesImpl(sweepFromArgs(a, RandomGraph), a.Int("n"), a.Ints("files"), a.Bool("multi-sender"), em)
+			c := sweepFromArgs(a, RandomGraph)
+			c.Telemetry = em.Telemetry()
+			return numFilesImpl(c, a.Int("n"), a.Ints("files"), a.Bool("multi-sender"), em)
 		},
 	})
 }

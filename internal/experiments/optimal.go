@@ -9,8 +9,41 @@ import (
 	"ocd/internal/graph"
 	"ocd/internal/ilp"
 	"ocd/internal/runner"
+	"ocd/internal/telemetry"
 	"ocd/internal/workload"
 )
+
+// solverCtrs accumulates ilp.Stats into a registry's solver.* counters.
+// The counts are deterministic functions of the solve sequence, and the
+// atomic additions are order-free, so cells running concurrently record
+// the same totals as a serial run. A nil *solverCtrs records nothing.
+type solverCtrs struct {
+	nodes, iters, warm, flips, restor *telemetry.Counter
+}
+
+func newSolverCtrs(reg *telemetry.Registry) *solverCtrs {
+	if reg == nil {
+		return nil
+	}
+	return &solverCtrs{
+		nodes:  reg.Counter("solver.nodes"),
+		iters:  reg.Counter("solver.simplex_iterations"),
+		warm:   reg.Counter("solver.warm_starts"),
+		flips:  reg.Counter("solver.bound_flips"),
+		restor: reg.Counter("solver.dual_restorations"),
+	}
+}
+
+func (c *solverCtrs) record(st ilp.Stats) {
+	if c == nil {
+		return
+	}
+	c.nodes.Add(int64(st.Nodes))
+	c.iters.Add(int64(st.SimplexIterations))
+	c.warm.Add(int64(st.WarmStarts))
+	c.flips.Add(int64(st.BoundFlips))
+	c.restor.Add(int64(st.DualRestorations))
+}
 
 func init() {
 	Register(Spec{
@@ -73,15 +106,17 @@ func figure1Impl(em *Emitter) error {
 	}
 	em.Emit("min bandwidth", "branch&bound", cheap.Makespan(), cheap.Moves())
 
+	ctrs := newSolverCtrs(em.Telemetry())
 	for _, tau := range []int{fast.Makespan(), cheap.Makespan()} {
 		prog, err := ilp.Build(inst, tau)
 		if err != nil {
 			return err
 		}
-		sched, obj, err := prog.Solve(ilp.Options{})
+		sched, obj, st, err := prog.SolveStats(ilp.Options{})
 		if err != nil {
 			return fmt.Errorf("figure1 ilp tau=%d: %w", tau, err)
 		}
+		ctrs.record(st)
 		em.Emit(fmt.Sprintf("min bandwidth @ tau=%d", tau), "time-indexed ILP",
 			sched.Makespan(), obj)
 	}
@@ -109,6 +144,7 @@ func ilpVsBnBImpl(instances, n, m int, seed int64, em *Emitter) error {
 	type crossCell struct {
 		n, tokens, tau, ilpBW, bnbBW int
 	}
+	ctrs := newSolverCtrs(em.Telemetry())
 	cells := make([]runner.Cell[crossCell], instances)
 	for i := range insts {
 		i := i
@@ -129,15 +165,16 @@ func ilpVsBnBImpl(instances, n, m int, seed int64, em *Emitter) error {
 				if err != nil {
 					return crossCell{}, err
 				}
-				_, obj, err := prog.Solve(ilp.Options{})
+				_, obj, st, err := prog.SolveStats(ilp.Options{})
 				if err != nil {
 					return crossCell{}, fmt.Errorf("instance %d ilp: %w", i, err)
 				}
+				ctrs.record(st)
 				return crossCell{n: inst.N(), tokens: inst.NumTokens, tau: tau, ilpBW: obj, bnbBW: bnb.Moves()}, nil
 			},
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"ocd/internal/protocol"
 	"ocd/internal/runner"
 	"ocd/internal/sim"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
 )
@@ -86,7 +87,7 @@ func protocolComparisonImpl(sizes []int, tokens int, seed int64, em *Emitter) er
 			},
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}

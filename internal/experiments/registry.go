@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"ocd/internal/telemetry"
 )
 
 var registry = make(map[string]*Spec)
@@ -54,6 +56,12 @@ func Specs() []*Spec {
 // Run resolves typed values against the named spec and executes it — the
 // one-line body of every ocd.Experiment* facade function.
 func Run(name string, vals Values) (*Table, error) {
+	return RunTelemetry(name, vals, nil)
+}
+
+// RunTelemetry is Run with a metric registry attached to the run (nil =
+// telemetry off). The table is unaffected by tel.
+func RunTelemetry(name string, vals Values, tel *telemetry.Registry) (*Table, error) {
 	s, ok := Lookup(name)
 	if !ok {
 		return nil, unknownSpec(name)
@@ -62,12 +70,20 @@ func Run(name string, vals Values) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Exec(a)
+	return s.ExecTelemetry(a, tel)
 }
 
 // RunStrings resolves string overrides against the named spec and executes
 // it, streaming into the given sinks — the CLI and spec-file path.
 func RunStrings(name string, overrides map[string]string, sinks ...Sink) (*Table, error) {
+	return RunStringsTelemetry(name, overrides, nil, sinks...)
+}
+
+// RunStringsTelemetry is RunStrings with a metric registry attached to the
+// run (nil = telemetry off). Sharing one registry across calls accumulates
+// a single process-wide stream, which is how the CLIs aggregate multi-spec
+// sweep files. The table is unaffected by tel.
+func RunStringsTelemetry(name string, overrides map[string]string, tel *telemetry.Registry, sinks ...Sink) (*Table, error) {
 	s, ok := Lookup(name)
 	if !ok {
 		return nil, unknownSpec(name)
@@ -76,7 +92,7 @@ func RunStrings(name string, overrides map[string]string, sinks ...Sink) (*Table
 	if err != nil {
 		return nil, err
 	}
-	return s.Exec(a, sinks...)
+	return s.ExecTelemetry(a, tel, sinks...)
 }
 
 func unknownSpec(name string) error {

@@ -7,6 +7,7 @@ import (
 	"ocd/internal/heuristics"
 	"ocd/internal/runner"
 	"ocd/internal/sim"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
 )
@@ -76,7 +77,7 @@ func theorem4Impl(pathLen int, decoySweep []int, capacity int, em *Emitter) erro
 			},
 		}
 	}
-	results, err := runner.Map(0, cells, runner.Options{})
+	results, err := runner.Map(0, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}
@@ -129,7 +130,7 @@ func oracleAdditiveImpl(sizes []int, tokens int, seed int64, em *Emitter) error 
 			},
 		}
 	}
-	results, err := runner.Map(seed, cells, runner.Options{})
+	results, err := runner.Map(seed, cells, runner.Options{Metrics: telemetry.NewRunnerMetrics(em.Telemetry())})
 	if err != nil {
 		return err
 	}

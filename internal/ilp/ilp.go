@@ -67,6 +67,13 @@ type Stats struct {
 	// WarmStarts counts node LPs re-solved from a restored parent basis
 	// (every node except the root).
 	WarmStarts int
+	// BoundFlips is the subset of SimplexIterations where the entering
+	// variable reached its other bound without a basis change — the
+	// bounded-variable simplex's cheap pivot.
+	BoundFlips int
+	// DualRestorations counts dual-simplex warm-start restorations
+	// (Resolve calls on the shared solver).
+	DualRestorations int
 }
 
 // variable identifies one x^i_{(u,v),t}.
@@ -251,7 +258,14 @@ type solver struct {
 }
 
 func (s *solver) stats() Stats {
-	return Stats{Nodes: s.nodes, SimplexIterations: s.sv.Iterations(), WarmStarts: s.warm}
+	st := s.sv.Stats()
+	return Stats{
+		Nodes:             s.nodes,
+		SimplexIterations: st.Iterations,
+		WarmStarts:        s.warm,
+		BoundFlips:        st.BoundFlips,
+		DualRestorations:  st.DualRestorations,
+	}
 }
 
 // bbNode is one open branch-and-bound subproblem: the branching decision

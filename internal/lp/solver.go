@@ -38,9 +38,11 @@ type Solver struct {
 	// solve needs a feasibility pass before pricing with the real costs.
 	dualDeficient bool
 
-	iters int // lifetime pivot count (primal + dual + bound flips)
-	stall int // consecutive degenerate pivots; triggers Bland's rule
-	bland bool
+	iters    int // lifetime pivot count (primal + dual + bound flips)
+	flips    int // lifetime bound flips (subset of iters)
+	resolves int // lifetime Resolve calls (dual-simplex warm-start restorations)
+	stall    int // consecutive degenerate pivots; triggers Bland's rule
+	bland    bool
 }
 
 // stallLimit is the degenerate-pivot run length that switches pricing
@@ -323,6 +325,7 @@ func (s *Solver) primal() error {
 				s.rows[i][s.ncols] -= s.rows[i][enter] * d * limit
 			}
 			s.atUp[enter] = !s.atUp[enter]
+			s.flips++
 			s.progress(limit)
 			continue
 		}
@@ -482,6 +485,7 @@ func (s *Solver) Solve() (*Solution, error) {
 // only this call's pivots.
 func (s *Solver) Resolve() (*Solution, error) {
 	startIters := s.iters
+	s.resolves++
 	s.stall, s.bland = 0, false
 	err := s.dual()
 	if err == nil {
@@ -526,6 +530,21 @@ func (s *Solver) finish(startIters int, err error) (*Solution, error) {
 
 // Iterations returns the lifetime pivot count across all solves.
 func (s *Solver) Iterations() int { return s.iters }
+
+// Stats breaks down the solver's lifetime work: total pivots, the
+// bound-flip subset (entering variable reached its other bound — no
+// basis change), and dual-simplex warm-start restorations (Resolve
+// calls). All three are deterministic functions of the solve sequence.
+type Stats struct {
+	Iterations       int
+	BoundFlips       int
+	DualRestorations int
+}
+
+// Stats returns the solver's lifetime work breakdown.
+func (s *Solver) Stats() Stats {
+	return Stats{Iterations: s.iters, BoundFlips: s.flips, DualRestorations: s.resolves}
+}
 
 // SetBounds replaces variable j's bounds in place. The tableau stays
 // consistent and dual feasible: a nonbasic variable is snapped to

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ocd/internal/telemetry"
 )
 
 // Cell is one independent unit of experiment work producing a T.
@@ -64,6 +66,11 @@ type Options struct {
 	// The cell result type must round-trip through encoding/json. Failed
 	// cells are never journaled; they re-run on resume.
 	Journal *Journal
+	// Metrics, when non-nil, records per-cell wall-clock latency, worker
+	// occupancy, executed-cell and journal-skip counts. Recording never
+	// affects results: the deterministic counters are identical at every
+	// parallelism, and a nil Metrics costs one nil check per cell.
+	Metrics *telemetry.RunnerMetrics
 }
 
 // PanicError is a cell panic converted into a structured error: one
@@ -148,6 +155,7 @@ func Map[T any](base int64, cells []Cell[T], opts Options) ([]T, error) {
 			}
 			if json.Unmarshal(raw, &results[i]) == nil {
 				skip[i] = true
+				opts.Metrics.CellSkipped()
 			} else {
 				// A journal recorded by an older driver whose row shape no
 				// longer matches: re-run the cell rather than resume wrong.
@@ -159,7 +167,9 @@ func Map[T any](base int64, cells []Cell[T], opts Options) ([]T, error) {
 
 	exec := func(i int) {
 		c := cells[i]
+		start := opts.Metrics.CellStart()
 		results[i], errs[i] = runCell(c, cellSeed(base, c), opts.CellTimeout)
+		opts.Metrics.CellDone(start)
 		if errs[i] == nil && opts.Journal != nil {
 			errs[i] = opts.Journal.record(c.Key, results[i])
 		}

@@ -1,0 +1,146 @@
+package telemetry
+
+// The wiring structs for the two hot seams the metrics layer instruments:
+// the step-kernel Observer seat (per-engine step-phase counters) and the
+// experiment runner's worker pool (per-cell latency and occupancy).
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ocd/internal/core"
+	"ocd/internal/sim"
+)
+
+// KernelObserver counts step-phase work through the kernel's Observer
+// hooks: steps executed (idle ones tallied separately), moves planned
+// (admitted + rejected), admitted, lost in transit, and delivered. All
+// counters are Deterministic — the kernel invokes the hooks in admission
+// order, and atomic addition makes the totals order-free — and the
+// observer is obspure-clean: it never reads or writes the *sim.State it
+// is handed. One observer may be shared by concurrent cells.
+type KernelObserver struct {
+	steps     *Counter
+	idleSteps *Counter
+	planned   *Counter
+	admitted  *Counter
+	delivered *Counter
+	lost      *Counter
+	rejected  *Counter
+}
+
+var _ sim.Observer = (*KernelObserver)(nil)
+
+// NewKernelObserver registers the kernel.<engine>.* counters on reg and
+// returns an observer feeding them. engine names the engine composition
+// being observed ("sim", "fault", ...), keeping multi-engine runs
+// separable in one registry. A nil registry returns a nil observer, so
+// callers can assign the result to an Observer seat unconditionally via
+// Observer().
+func NewKernelObserver(reg *Registry, engine string) *KernelObserver {
+	if reg == nil {
+		return nil
+	}
+	p := "kernel." + engine + "."
+	return &KernelObserver{
+		steps:     reg.Counter(p + "steps"),
+		idleSteps: reg.Counter(p + "idle_steps"),
+		planned:   reg.Counter(p + "planned"),
+		admitted:  reg.Counter(p + "admitted"),
+		delivered: reg.Counter(p + "delivered"),
+		lost:      reg.Counter(p + "lost"),
+		rejected:  reg.Counter(p + "rejected"),
+	}
+}
+
+// Observer converts the handle to the kernel's Observer seat: a typed
+// nil becomes an untyped nil interface, which the kernel treats as "no
+// observer" at zero cost.
+func (o *KernelObserver) Observer() sim.Observer {
+	if o == nil {
+		return nil
+	}
+	return o
+}
+
+// OnStep counts one executed timestep (idle when delivered is nil).
+func (o *KernelObserver) OnStep(step int, delivered core.Step, st *sim.State) {
+	o.steps.Inc()
+	if delivered == nil {
+		o.idleSteps.Inc()
+	}
+}
+
+// OnMove counts one admitted move and its transit outcome.
+func (o *KernelObserver) OnMove(step int, mv core.Move, arcID int, lost bool, st *sim.State) {
+	o.planned.Inc()
+	o.admitted.Inc()
+	if lost {
+		o.lost.Inc()
+	} else {
+		o.delivered.Inc()
+	}
+}
+
+// OnReject counts one proposed move the kernel discarded.
+func (o *KernelObserver) OnReject(step int, mv core.Move, st *sim.State) {
+	o.planned.Inc()
+	o.rejected.Inc()
+}
+
+// RunnerMetrics instruments runner.Map's worker pool. Cells and
+// journal-skipped cells are Deterministic counters (the same cell set
+// runs at every parallelism); per-cell latency and worker occupancy are
+// WallClock. A nil *RunnerMetrics (from a nil registry) records nothing.
+type RunnerMetrics struct {
+	cells     *Counter
+	skipped   *Counter
+	cellTime  *Histogram
+	occupancy *Gauge
+	active    atomic.Int64
+}
+
+// NewRunnerMetrics registers the runner.* metrics on reg and returns the
+// instrument the runner records through. A nil registry returns nil,
+// which every method treats as "telemetry off".
+func NewRunnerMetrics(reg *Registry) *RunnerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &RunnerMetrics{
+		cells:     reg.Counter("runner.cells"),
+		skipped:   reg.Counter("runner.journal_skips"),
+		cellTime:  reg.Histogram("runner.cell_seconds"),
+		occupancy: reg.Gauge("runner.worker_occupancy"),
+	}
+}
+
+// CellSkipped counts a cell satisfied from the crash-safety journal.
+func (m *RunnerMetrics) CellSkipped() {
+	if m == nil {
+		return
+	}
+	m.skipped.Inc()
+}
+
+// CellStart marks one cell entering a worker and returns its start time.
+// The occupancy gauge keeps the high-watermark of concurrently running
+// cells.
+func (m *RunnerMetrics) CellStart() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	m.occupancy.Observe(m.active.Add(1))
+	return time.Now() //ocd:wallclock cell latency is a WallClock metric by contract
+}
+
+// CellDone records the cell's wall-clock latency and releases its
+// occupancy slot.
+func (m *RunnerMetrics) CellDone(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.active.Add(-1)
+	m.cells.Inc()
+	m.cellTime.Observe(time.Since(start)) //ocd:wallclock cell latency is a WallClock metric by contract
+}

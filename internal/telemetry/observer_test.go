@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"ocd/internal/core"
+)
+
+func TestNewKernelObserverNilRegistry(t *testing.T) {
+	o := NewKernelObserver(nil, "sim")
+	if o != nil {
+		t.Fatalf("nil registry must yield nil observer, got %v", o)
+	}
+	// The typed nil must convert to an untyped nil interface so the
+	// kernel's "no observer" fast path engages.
+	if o.Observer() != nil {
+		t.Fatal("nil *KernelObserver.Observer() must be a nil interface")
+	}
+}
+
+func TestKernelObserverCounts(t *testing.T) {
+	r := New()
+	o := NewKernelObserver(r, "sim")
+	mv := core.Move{}
+	// Two steps, one idle; three planned moves: one delivered, one lost,
+	// one rejected. The st parameter is nil on purpose — the observer must
+	// never touch it (obspure pins this at lint time, nil pins it here).
+	o.OnStep(0, nil, nil)
+	o.OnStep(1, core.Step{mv}, nil)
+	o.OnMove(1, mv, 0, false, nil)
+	o.OnMove(1, mv, 1, true, nil)
+	o.OnReject(1, mv, nil)
+	want := map[string]int64{
+		"kernel.sim.steps":      2,
+		"kernel.sim.idle_steps": 1,
+		"kernel.sim.planned":    3,
+		"kernel.sim.admitted":   2,
+		"kernel.sim.delivered":  1,
+		"kernel.sim.lost":       1,
+		"kernel.sim.rejected":   1,
+	}
+	for name, v := range want {
+		if got := r.Counter(name).Value(); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}
+
+func TestRunnerMetricsNilSafe(t *testing.T) {
+	var m *RunnerMetrics
+	if got := NewRunnerMetrics(nil); got != nil {
+		t.Fatalf("nil registry must yield nil metrics, got %v", got)
+	}
+	start := m.CellStart()
+	m.CellDone(start)
+	m.CellSkipped()
+	if !start.IsZero() {
+		t.Error("nil metrics CellStart must return the zero time")
+	}
+}
+
+func TestRunnerMetricsCounts(t *testing.T) {
+	r := New()
+	m := NewRunnerMetrics(r)
+	s1 := m.CellStart()
+	s2 := m.CellStart() // two cells in flight: occupancy watermark 2
+	m.CellDone(s1)
+	m.CellDone(s2)
+	m.CellSkipped()
+	if got := r.Counter("runner.cells").Value(); got != 2 {
+		t.Errorf("runner.cells = %d, want 2", got)
+	}
+	if got := r.Counter("runner.journal_skips").Value(); got != 1 {
+		t.Errorf("runner.journal_skips = %d, want 1", got)
+	}
+	if got := r.Gauge("runner.worker_occupancy").Value(); got != 2 {
+		t.Errorf("runner.worker_occupancy = %d, want 2", got)
+	}
+	if got := r.Histogram("runner.cell_seconds").Count(); got != 2 {
+		t.Errorf("runner.cell_seconds count = %d, want 2", got)
+	}
+	if time.Since(s1) < 0 { //ocd:wallclock asserting CellStart returned a real wall-clock time
+		t.Error("CellStart must return a real wall-clock start time")
+	}
+}

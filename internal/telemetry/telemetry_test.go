@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryHandsOutNoOpHandles(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil handles, got %v %v %v", c, g, h)
+	}
+	// Every method must be a safe no-op on the nil handles.
+	c.Add(3)
+	c.Inc()
+	g.Observe(7)
+	h.Observe(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("nil handles must read zero, got %d %d %d", c.Value(), g.Value(), h.Count())
+	}
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", s)
+	}
+	if got := r.Summary(); !strings.Contains(got, "no metrics recorded") {
+		t.Fatalf("nil registry summary = %q", got)
+	}
+}
+
+func TestHandlesAreInterned(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("counter handles not interned")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("gauge handles not interned")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("histogram handles not interned")
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	r := New()
+	c := r.Counter("steps")
+	c.Add(40)
+	c.Inc()
+	c.Inc()
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestGaugeKeepsHighWatermark(t *testing.T) {
+	r := New()
+	g := r.Gauge("occupancy")
+	for _, v := range []int64{3, 9, 4, 9, 1} {
+		g.Observe(v)
+	}
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge = %d, want high-watermark 9", got)
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency")
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	h.Observe(-time.Second) // clamped to zero, still counted
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.sumNS.Load(); got != int64(40*time.Millisecond) {
+		t.Fatalf("sum = %d, want %d", got, int64(40*time.Millisecond))
+	}
+	if got := h.maxNS.Load(); got != int64(30*time.Millisecond) {
+		t.Fatalf("max = %d, want %d", got, int64(30*time.Millisecond))
+	}
+	// A huge observation lands in the open-ended last bucket.
+	h.Observe(200 * time.Hour)
+	if got := h.buckets[histBuckets-1].Load(); got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", got)
+	}
+}
+
+func TestSnapshotOrdersDeterministicFirstThenByName(t *testing.T) {
+	r := New()
+	r.Histogram("z.hist").Observe(time.Millisecond)
+	r.Counter("b.count").Inc()
+	r.Gauge("a.gauge").Observe(5)
+	r.Counter("a.count").Add(2)
+	ms := r.Snapshot()
+	var got []string
+	for _, m := range ms {
+		got = append(got, m.Class+"/"+m.Name)
+	}
+	want := []string{
+		"deterministic/a.count",
+		"deterministic/b.count",
+		"wallclock/a.gauge",
+		"wallclock/z.hist",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot order = %v, want %v", got, want)
+	}
+	if !ms[0].IsDeterministic() || ms[3].IsDeterministic() {
+		t.Error("IsDeterministic misclassifies snapshot entries")
+	}
+}
+
+func TestDeterministicSnapshotExcludesWallClock(t *testing.T) {
+	r := New()
+	r.Counter("kernel.sim.steps").Add(7)
+	r.Histogram("runner.cell_seconds").Observe(time.Second)
+	r.Gauge("runner.worker_occupancy").Observe(4)
+	ms := r.DeterministicSnapshot()
+	if len(ms) != 1 || ms[0].Name != "kernel.sim.steps" || ms[0].Value != 7 {
+		t.Fatalf("deterministic snapshot = %+v", ms)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("kernel.sim.delivered").Add(120)
+	r.Gauge("runner.worker_occupancy").Observe(8)
+	r.Histogram("runner.cell_seconds").Observe(3 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.Snapshot()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r.Snapshot())
+	}
+}
+
+func TestDecodeJSONLRejectsMalformedStreams(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "empty stream"},
+		{"bad header", `{"telemetry":"other/v9"}` + "\n", "header"},
+		{"no header", `{"metric":"x","type":"counter","class":"deterministic"}` + "\n", "header"},
+		{"nameless", "{\"telemetry\":\"ocd-telemetry/v1\"}\n{\"type\":\"counter\",\"class\":\"deterministic\"}\n", "no name"},
+		{"unknown type", "{\"telemetry\":\"ocd-telemetry/v1\"}\n{\"metric\":\"x\",\"type\":\"timer\",\"class\":\"wallclock\"}\n", "unknown type"},
+		{"unknown class", "{\"telemetry\":\"ocd-telemetry/v1\"}\n{\"metric\":\"x\",\"type\":\"counter\",\"class\":\"fuzzy\"}\n", "unknown class"},
+		{"negative histogram", "{\"telemetry\":\"ocd-telemetry/v1\"}\n{\"metric\":\"x\",\"type\":\"histogram\",\"class\":\"wallclock\",\"count\":-1}\n", "negative"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeJSONL(strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("DecodeJSONL error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestSummaryRendersAlignedTable(t *testing.T) {
+	r := New()
+	r.Counter("kernel.sim.steps").Add(50)
+	r.Histogram("runner.cell_seconds").Observe(2 * time.Millisecond)
+	got := r.Summary()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("summary has %d lines, want 3:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[0], "metric") || !strings.Contains(lines[0], "class") {
+		t.Errorf("summary header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "kernel.sim.steps") || !strings.Contains(lines[1], "50") {
+		t.Errorf("counter row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "n=1 mean=2ms max=2ms") {
+		t.Errorf("histogram row = %q", lines[2])
+	}
+	// Columns align: "type" starts at the same offset in every line.
+	col := strings.Index(lines[0], "type")
+	for _, ln := range lines[1:] {
+		if len(ln) < col {
+			t.Fatalf("row shorter than header: %q", ln)
+		}
+	}
+}
+
+func TestConcurrentCountersAreExact(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				r.Gauge("g").Observe(int64(i))
+				r.Histogram("h").Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h").Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestValidateTelemetryFile is the CI hook: when OCD_TELEMETRY_FILE names
+// a stream written by a CLI's -telemetry flag, validate it end to end —
+// well-formed JSONL with the magic header, and at least one kernel.* and
+// one runner.* metric present. Skipped when the variable is unset.
+func TestValidateTelemetryFile(t *testing.T) {
+	path := os.Getenv("OCD_TELEMETRY_FILE")
+	if path == "" {
+		t.Skip("OCD_TELEMETRY_FILE not set")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ms, err := DecodeJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("telemetry stream has no metrics")
+	}
+	var names []string
+	var kernel, runner bool
+	for _, m := range ms {
+		names = append(names, m.Name)
+		kernel = kernel || strings.HasPrefix(m.Name, "kernel.")
+		runner = runner || strings.HasPrefix(m.Name, "runner.")
+	}
+	if !kernel || !runner {
+		t.Fatalf("stream must carry kernel.* and runner.* metrics, got %v", names)
+	}
+	if !sort.SliceIsSorted(ms, func(i, j int) bool {
+		if ms[i].Class != ms[j].Class {
+			return ms[i].Class == Deterministic.String()
+		}
+		return ms[i].Name < ms[j].Name
+	}) {
+		t.Error("stream is not in snapshot order (deterministic first, then by name)")
+	}
+}

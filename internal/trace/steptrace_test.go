@@ -8,6 +8,7 @@ import (
 
 	"ocd/internal/heuristics"
 	"ocd/internal/sim"
+	"ocd/internal/telemetry"
 	"ocd/internal/topology"
 	"ocd/internal/workload"
 )
@@ -56,6 +57,28 @@ func TestObserverDoesNotPerturbRun(t *testing.T) {
 	if bare.Lost != observed.Lost || bare.Steps != observed.Steps {
 		t.Errorf("observer changed run stats: bare %d lost/%d steps, observed %d lost/%d steps",
 			bare.Lost, bare.Steps, observed.Lost, observed.Steps)
+	}
+
+	// Same contract for the telemetry observer in the other seat: counting
+	// step-phase work must not perturb the run, and the counters must agree
+	// with the result they counted.
+	reg := telemetry.New()
+	opts.Observer = telemetry.NewKernelObserver(reg, "sim").Observer()
+	counted, err := sim.Run(inst, heuristics.Local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.Schedule.Steps, counted.Schedule.Steps) {
+		t.Error("attaching a telemetry KernelObserver changed the schedule")
+	}
+	if got := reg.Counter("kernel.sim.delivered").Value(); got != int64(counted.Schedule.Moves()) {
+		t.Errorf("kernel.sim.delivered = %d, schedule has %d moves", got, counted.Schedule.Moves())
+	}
+	if got := reg.Counter("kernel.sim.lost").Value(); got != int64(counted.Lost) {
+		t.Errorf("kernel.sim.lost = %d, result lost %d", got, counted.Lost)
+	}
+	if got := reg.Counter("kernel.sim.steps").Value(); got != int64(counted.Steps) {
+		t.Errorf("kernel.sim.steps = %d, result ran %d steps", got, counted.Steps)
 	}
 }
 

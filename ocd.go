@@ -35,6 +35,7 @@ import (
 	"ocd/internal/protocol"
 	"ocd/internal/sim"
 	"ocd/internal/steiner"
+	"ocd/internal/telemetry"
 	"ocd/internal/tokenset"
 	"ocd/internal/topology"
 	"ocd/internal/trace"
@@ -279,21 +280,21 @@ type FaultSweepOptions = experiments.FaultSweepOptions
 // k-way RandomPartitions model, classifying stalled runs as healable or
 // unsatisfiable.
 func ExperimentPartition(n, tokens, k int, healAfters []int, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
-	return experiments.Run("partition", experiments.Values{
+	return experiments.RunTelemetry("partition", experiments.Values{
 		"n": n, "tokens": tokens, "k": k, "heal": healAfters,
 		"heuristics": heuristicNames, "seed": seed,
 		"journal": opts.JournalPath, "monitor": opts.Monitor, "parallelism": opts.Parallelism,
-	})
+	}, opts.Telemetry)
 }
 
 // ExperimentChurn sweeps membership churn rate × heuristic: members leave
 // with per-step probability (losing all state) and rejoin empty.
 func ExperimentChurn(n, tokens int, leaveRates []float64, rejoinP float64, heuristicNames []string, seed int64, opts FaultSweepOptions) (*Table, error) {
-	return experiments.Run("churn", experiments.Values{
+	return experiments.RunTelemetry("churn", experiments.Values{
 		"n": n, "tokens": tokens, "leave": leaveRates, "rejoin": rejoinP,
 		"heuristics": heuristicNames, "seed": seed,
 		"journal": opts.JournalPath, "monitor": opts.Monitor, "parallelism": opts.Parallelism,
-	})
+	}, opts.Telemetry)
 }
 
 // DefaultCaps is the paper's capacity range: 3..15 tokens per timestep.
@@ -695,6 +696,32 @@ func NewStepCollector(inst *Instance) *StepCollector { return trace.NewStepColle
 // run.
 func NewInvariantMonitor(inst *Instance, cfg InvariantConfig) *InvariantMonitor {
 	return trace.NewInvariantMonitor(inst, cfg)
+}
+
+// Telemetry — the deterministic-friendly metrics layer. A Registry hands
+// out named counters (deterministic: safe to golden-test), gauges, and
+// duration histograms (wall-clock: reported, never folded into experiment
+// tables). A nil *TelemetryRegistry turns every recording site into a
+// no-op, so instrumented code records unconditionally.
+type (
+	// TelemetryRegistry interns named metrics and snapshots/streams them.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryMetric is one snapshotted metric (JSONL stream row).
+	TelemetryMetric = telemetry.Metric
+	// KernelObserver counts kernel step-phase work (steps, planned,
+	// admitted, delivered, lost, rejected) through the Observer seat.
+	KernelObserver = telemetry.KernelObserver
+)
+
+// NewTelemetryRegistry builds an empty metric registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.New() }
+
+// NewKernelObserver builds a step-phase counting Observer recording into
+// reg under kernel.<engine>.*; attach it through RunOptions.Observer via
+// its Observer() method. A nil reg yields a nil observer, which the
+// kernel treats as "no observer".
+func NewKernelObserver(reg *TelemetryRegistry, engine string) *KernelObserver {
+	return telemetry.NewKernelObserver(reg, engine)
 }
 
 // EncodeStepTraceJSONL writes step records as JSONL (one object per line).
